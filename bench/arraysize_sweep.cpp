@@ -1,0 +1,76 @@
+// arraysize_sweep — reproduces the paper's in-text claim (§6) that results
+// hold "for different array sizes": the benchmark considered L between 2N
+// and 4N. Larger arrays make every algorithm faster (lower load factor);
+// the comparative shape must persist.
+#include <iostream>
+
+#include "bench_util/algos.hpp"
+#include "bench_util/options.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "arraysize_sweep: trial metrics vs array size factor L/N (paper §6)\n"
+      "  --threads=4          worker threads\n"
+      "  --ops=40000          ops per thread per point\n"
+      "  --mult=1000          emulated registrants per thread\n"
+      "  --factors=200,250,300,400  L/N in percent (paper: 2N..4N)\n"
+      "  --prefill=0.5        pre-fill fraction\n"
+      "  --algo=level,random,linear algorithms\n"
+      "  --seed=42            base RNG seed\n"
+      "  --csv                emit CSV\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace la;
+  bench::Options opts(argc, argv);
+  if (opts.has("help")) {
+    print_usage();
+    return 0;
+  }
+
+  const auto threads = static_cast<std::uint32_t>(opts.get_uint("threads", 4));
+  const auto ops = opts.get_uint("ops", 40000);
+  const auto mult = opts.get_uint("mult", 1000);
+  const auto factors_pct = opts.get_uint_list("factors", {200, 250, 300, 400});
+  const double prefill = opts.get_double("prefill", 0.5);
+  const auto algos = opts.get_string_list("algo", {"level", "random", "linear"});
+  const auto seed = opts.get_uint("seed", 42);
+
+  std::cout << "# Array-size sweep: " << threads << " threads, N = " << mult
+            << " * threads, prefill = " << prefill << "\n";
+
+  stats::Table table({"algo", "L_over_N", "avg_trials", "stddev",
+                      "worst_global", "p99"});
+  for (const auto& algo_str : algos) {
+    const auto kind = bench::parse_algo(algo_str);
+    for (const auto factor_pct : factors_pct) {
+      bench::SweepPoint point;
+      point.driver.threads = threads;
+      point.driver.emulation_multiplier = mult;
+      point.driver.prefill = prefill;
+      point.driver.ops_per_thread = ops;
+      point.driver.seed = seed;
+      point.size_factor = static_cast<double>(factor_pct) / 100.0;
+      const auto result = bench::run_algo(kind, point);
+      table.add_row({std::string(bench::algo_name(kind)),
+                     point.size_factor, result.trials.average(),
+                     result.trials.stddev(), result.trials.worst_case(),
+                     result.trials.p99()});
+    }
+  }
+  if (opts.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  for (const auto& key : opts.unused_keys()) {
+    std::cerr << "warning: unused flag --" << key << "\n";
+  }
+  return 0;
+}

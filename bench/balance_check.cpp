@@ -1,0 +1,126 @@
+// balance_check — validates the paper's analysis quantities on simulated
+// oblivious-adversary executions (the theory side of the evaluation):
+//
+//   * Definition 1 (regularity): the empirical fraction of Gets reaching
+//     batch k, against the analytical bound pi_k.
+//   * Definition 2 / Proposition 3 (balance): the fraction of sampled
+//     instants at which any tracked batch was overcrowded.
+//   * Theorem 1: worst-case probes vs the O(log log n) budget.
+//
+// Run with --ci=16 (default) for the analysis constants, or --ci=1 to see
+// how the implementation configuration behaves against the same yardstick.
+#include <iostream>
+#include <vector>
+
+#include "bench_util/options.hpp"
+#include "sim/executor.hpp"
+#include "sim/metrics.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "balance_check: regularity + balance of simulated executions\n"
+      "  --n=256,512,1024     contention bounds to sweep\n"
+      "  --rounds=64          Get/Free rounds per process\n"
+      "  --ci=16              probes per batch (16 = analysis constants)\n"
+      "  --schedule=uniform   uniform | roundrobin | bursty | skewed\n"
+      "  --sample-every=500   steps between balance samples\n"
+      "  --seed=42            seed\n"
+      "  --csv                emit CSV\n";
+}
+
+la::sim::Schedule make_schedule(const std::string& kind, std::uint32_t n,
+                                std::size_t steps, std::uint64_t seed) {
+  using la::sim::Schedule;
+  if (kind == "uniform") return Schedule::uniform_random(n, steps, seed);
+  if (kind == "roundrobin") return Schedule::round_robin(n, steps);
+  if (kind == "bursty") return Schedule::bursty(n, steps, 200, seed);
+  if (kind == "skewed") return Schedule::skewed(n, steps, 1.2, seed);
+  throw std::invalid_argument("unknown schedule kind: " + kind);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace la;
+  bench::Options opts(argc, argv);
+  if (opts.has("help")) {
+    print_usage();
+    return 0;
+  }
+
+  const auto ns = opts.get_uint_list("n", {256, 512, 1024});
+  const auto rounds = opts.get_uint("rounds", 64);
+  const auto ci = opts.get_uint("ci", 16);
+  const auto schedule_kind = opts.get_string("schedule", "uniform");
+  const auto sample_every = opts.get_uint("sample-every", 500);
+  const auto seed = opts.get_uint("seed", 42);
+
+  std::cout << "# Balance & regularity check: c_i = " << ci << ", schedule = "
+            << schedule_kind << ", " << rounds << " rounds/process\n";
+
+  stats::Table summary({"n", "gets", "avg_trials", "worst", "loglog_budget",
+                        "balance_samples", "unbalanced_samples",
+                        "backup_gets"});
+  stats::Table reach_table(
+      {"n", "batch", "reach_fraction", "pi_bound", "within_bound"}, 6);
+
+  for (const auto n : ns) {
+    sim::ExecutorOptions options;
+    options.config.capacity = n;
+    options.config.probes_per_batch = {static_cast<std::uint8_t>(ci)};
+    options.seed = seed + n;
+    std::vector<sim::ProcessInput> inputs(
+        n, sim::ProcessInput::churn(rounds, 1));
+    // Budget: enough steps to drain all tapes even with c_i = 16.
+    const std::size_t steps = static_cast<std::size_t>(n) * rounds * (4 + ci);
+    sim::Executor exec(options, std::move(inputs),
+                       make_schedule(schedule_kind,
+                                     static_cast<std::uint32_t>(n), steps,
+                                     seed));
+
+    std::uint64_t samples = 0, unbalanced = 0;
+    exec.set_step_observer(
+        [&](const sim::Executor& e) {
+          ++samples;
+          if (!e.balance().fully_balanced()) ++unbalanced;
+        },
+        sample_every);
+    exec.run();
+
+    const std::uint64_t budget = ci * (sim::loglog_batches(n) + 2);
+    summary.add_row({std::uint64_t{n}, exec.completed_gets(),
+                     exec.get_stats().average(),
+                     exec.get_stats().worst_case(), budget, samples,
+                     unbalanced, exec.backup_gets()});
+
+    const auto& reach = exec.reach_counts();
+    const double gets = static_cast<double>(exec.completed_gets());
+    const std::uint32_t tracked = sim::loglog_batches(n);
+    for (std::uint32_t k = 1; k <= tracked && k < reach.size(); ++k) {
+      const double fraction = static_cast<double>(reach[k]) / gets;
+      const double bound = sim::reach_probability_bound(k);
+      reach_table.add_row({std::uint64_t{n}, std::uint64_t{k}, fraction,
+                           bound,
+                           std::string(fraction <= bound ? "yes" : "NO")});
+    }
+  }
+
+  if (opts.has("csv")) {
+    summary.print_csv(std::cout);
+    std::cout << "\n";
+    reach_table.print_csv(std::cout);
+  } else {
+    summary.print(std::cout);
+    std::cout << "\n# reach fractions vs Definition 1 bounds (c_i >= 16 "
+                 "required for the bound to apply)\n";
+    reach_table.print(std::cout);
+  }
+
+  for (const auto& key : opts.unused_keys()) {
+    std::cerr << "warning: unused flag --" << key << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// collect_cost — measures the Collect() operation: the paper's analysis
+// gives Theta(L) step complexity (it reads every slot), and the paper's §1
+// argues the dense array layout is what makes collects fast in practice
+// (sequential scans are cache-friendly). This bench reports collect
+// latency as a function of L and of the number of registered names, plus
+// the per-slot scan cost, confirming the linear shape.
+#include <iostream>
+#include <vector>
+
+#include "arrays/bitmap_array.hpp"
+#include "bench_util/options.hpp"
+#include "bench_util/timing.hpp"
+#include "core/level_array.hpp"
+#include "rng/rng.hpp"
+#include "stats/table.hpp"
+#include "stats/welford.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "collect_cost: Collect() latency vs array size (Theta(L) check)\n"
+      "  --capacities=1000,2000,4000,8000,16000  contention bounds to sweep\n"
+      "  --load=0.5          fraction of capacity registered during collects\n"
+      "  --reps=2000         collects per point\n"
+      "  --seed=42           RNG seed\n"
+      "  --csv               emit CSV\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace la;
+  bench::Options opts(argc, argv);
+  if (opts.has("help")) {
+    print_usage();
+    return 0;
+  }
+
+  const auto capacities =
+      opts.get_uint_list("capacities", {1000, 2000, 4000, 8000, 16000});
+  const double load = opts.get_double("load", 0.5);
+  const auto reps = opts.get_uint("reps", 2000);
+  const auto seed = opts.get_uint("seed", 42);
+
+  std::cout << "# Collect cost: latency vs L (expect linear; per-slot cost "
+               "roughly constant)\n"
+            << "# load = " << load << " of capacity registered, " << reps
+            << " collects per point\n";
+
+  stats::Table table({"capacity", "L_total_slots", "registered",
+                      "collect_us_mean", "collect_us_stddev", "ns_per_slot"});
+  for (const auto capacity : capacities) {
+    core::LevelArrayConfig config;
+    config.capacity = capacity;
+    core::LevelArray array(config);
+    rng::MarsagliaXorshift rng(seed + capacity);
+
+    std::vector<std::uint64_t> held;
+    const auto target =
+        static_cast<std::uint64_t>(load * static_cast<double>(capacity));
+    for (std::uint64_t i = 0; i < target; ++i) {
+      held.push_back(array.get(rng).name);
+    }
+
+    stats::Welford latency_us;
+    std::vector<std::uint64_t> out;
+    out.reserve(array.total_slots());
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      out.clear();
+      bench::Stopwatch watch;
+      const std::size_t found = array.collect(out);
+      latency_us.add(static_cast<double>(watch.elapsed_nanos()) / 1000.0);
+      if (found != held.size()) {
+        std::cerr << "collect found " << found << ", expected " << held.size()
+                  << "\n";
+        return 1;
+      }
+    }
+
+    table.add_row({std::uint64_t{capacity}, array.total_slots(),
+                   static_cast<std::uint64_t>(held.size()), latency_us.mean(),
+                   latency_us.stddev(),
+                   latency_us.mean() * 1000.0 /
+                       static_cast<double>(array.total_slots())});
+    for (const auto name : held) array.free(name);
+  }
+  if (opts.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  // Layout ablation: byte-per-slot (the paper's structure, dense for TAS)
+  // versus bit-per-slot (64 slots per load, densest possible collect).
+  std::cout << "\n# layout ablation: 1-byte slots vs bitmap (64 slots/word)\n";
+  stats::Table layout({"capacity", "byte_collect_us", "bitmap_collect_us",
+                       "bitmap_speedup_x"});
+  for (const auto capacity : capacities) {
+    const std::uint64_t slots = 2 * capacity;
+    const auto target =
+        static_cast<std::uint64_t>(load * static_cast<double>(capacity));
+
+    core::LevelArrayConfig config;
+    config.capacity = capacity;
+    core::LevelArray bytes(config);
+    arrays::BitmapActivityArray bits(slots, capacity);
+    rng::MarsagliaXorshift rng(seed ^ capacity);
+    std::vector<std::uint64_t> byte_names, bit_names;
+    for (std::uint64_t i = 0; i < target; ++i) {
+      byte_names.push_back(bytes.get(rng).name);
+      bit_names.push_back(bits.get(rng).name);
+    }
+
+    stats::Welford byte_us, bit_us;
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t rep = 0; rep < reps; ++rep) {
+      out.clear();
+      bench::Stopwatch w1;
+      (void)bytes.collect(out);
+      byte_us.add(static_cast<double>(w1.elapsed_nanos()) / 1000.0);
+      out.clear();
+      bench::Stopwatch w2;
+      (void)bits.collect(out);
+      bit_us.add(static_cast<double>(w2.elapsed_nanos()) / 1000.0);
+    }
+    layout.add_row({std::uint64_t{capacity}, byte_us.mean(), bit_us.mean(),
+                    bit_us.mean() > 0 ? byte_us.mean() / bit_us.mean() : 0.0});
+    for (const auto name : byte_names) bytes.free(name);
+    for (const auto name : bit_names) bits.free(name);
+  }
+  if (opts.has("csv")) {
+    layout.print_csv(std::cout);
+  } else {
+    layout.print(std::cout);
+  }
+
+  for (const auto& key : opts.unused_keys()) {
+    std::cerr << "warning: unused flag --" << key << "\n";
+  }
+  return 0;
+}

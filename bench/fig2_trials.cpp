@@ -1,0 +1,96 @@
+// fig2_trials — reproduces the remaining three panels of the paper's
+// Figure 2 in one sweep:
+//   * top-right:    average number of trials (probes) per Get,
+//   * bottom-left:  standard deviation of the number of trials,
+//   * bottom-right: worst-case number of trials (the paper plots the worst
+//                   case averaged over processes; we print both that and
+//                   the global maximum).
+//
+// Expected shape (paper §6): all three randomized algorithms average
+// 1.5-1.9 trials; LevelArray's stddev stays ~1 and its worst case <= 6,
+// while Random and LinearProbing show growing stddev and worst cases an
+// order of magnitude larger. Add --with-seq to include the deterministic
+// first-fit scan, whose average is ~two orders of magnitude worse (it is
+// left off the paper's charts for that reason).
+//
+// Runs in op-count mode so results are time-independent and reproducible.
+#include <iostream>
+
+#include "bench_util/algos.hpp"
+#include "bench_util/options.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "fig2_trials: Fig. 2 (avg / stddev / worst-case trials) sweep\n"
+      "  --threads=1,2,4,8   thread counts to sweep\n"
+      "  --ops=40000         main-loop Get+Free ops per thread\n"
+      "  --mult=1000         emulated registrants per thread\n"
+      "  --prefill=0.5       pre-fill fraction\n"
+      "  --size-factor=2.0   L = size-factor * N\n"
+      "  --algo=...          algorithms (level,random,linear[,seq])\n"
+      "  --with-seq          include the deterministic sequential scan\n"
+      "  --seed=42           base RNG seed\n"
+      "  --csv               emit CSV\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace la;
+  bench::Options opts(argc, argv);
+  if (opts.has("help")) {
+    print_usage();
+    return 0;
+  }
+
+  const auto threads = opts.get_uint_list("threads", {1, 2, 4, 8});
+  const auto ops = opts.get_uint("ops", 40000);
+  const auto mult = opts.get_uint("mult", 1000);
+  const double prefill = opts.get_double("prefill", 0.5);
+  const double size_factor = opts.get_double("size-factor", 2.0);
+  auto algo_names =
+      opts.get_string_list("algo", {"level", "random", "linear"});
+  if (opts.has("with-seq")) algo_names.push_back("seq");
+  const auto seed = opts.get_uint("seed", 42);
+
+  std::cout << "# Figure 2 (top-right, bottom-left, bottom-right): trials "
+               "per Get\n"
+            << "# N = " << mult << " * threads, L = " << size_factor
+            << " * N, prefill = " << prefill << ", " << ops
+            << " ops/thread\n";
+
+  stats::Table table({"algo", "threads", "gets", "avg_trials", "stddev",
+                      "worst_mean_over_threads", "worst_global", "p99",
+                      "backup_gets"});
+  for (const auto& algo_str : algo_names) {
+    const auto kind = bench::parse_algo(algo_str);
+    for (const auto n : threads) {
+      bench::SweepPoint point;
+      point.driver.threads = n;
+      point.driver.emulation_multiplier = mult;
+      point.driver.prefill = prefill;
+      point.driver.ops_per_thread = ops;
+      point.driver.seed = seed;
+      point.size_factor = size_factor;
+      const auto result = bench::run_algo(kind, point);
+      table.add_row({std::string(bench::algo_name(kind)), std::uint64_t{n},
+                     result.trials.operations(), result.trials.average(),
+                     result.trials.stddev(), result.mean_per_thread_worst,
+                     result.trials.worst_case(), result.trials.p99(),
+                     result.backup_gets});
+    }
+  }
+  if (opts.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  for (const auto& key : opts.unused_keys()) {
+    std::cerr << "warning: unused flag --" << key << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+// micro_ops — google-benchmark micro-latency suite for the individual
+// operations: Get/Free pairs at varying load for every algorithm, Collect
+// at varying sizes, and the raw substrate costs (TAS, RNG draw) that bound
+// them. Complements the figure benches with per-operation nanosecond
+// numbers.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "arrays/linear_probing_array.hpp"
+#include "arrays/random_array.hpp"
+#include "arrays/sequential_scan_array.hpp"
+#include "core/level_array.hpp"
+#include "rng/rng.hpp"
+#include "sync/tas_cell.hpp"
+
+namespace {
+
+using namespace la;
+
+// ------------------------------------------------------------- substrates
+
+void BM_TasCellAcquireRelease(benchmark::State& state) {
+  sync::TasCell cell;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.try_acquire());
+    cell.release();
+  }
+}
+BENCHMARK(BM_TasCellAcquireRelease);
+
+void BM_MarsagliaDraw(benchmark::State& state) {
+  rng::MarsagliaXorshift rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_MarsagliaDraw);
+
+void BM_LehmerDraw(benchmark::State& state) {
+  rng::Lehmer rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_LehmerDraw);
+
+void BM_BoundedDraw(benchmark::State& state) {
+  rng::MarsagliaXorshift rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::bounded(rng, 1536));
+  }
+}
+BENCHMARK(BM_BoundedDraw);
+
+// ------------------------------------------------- Get/Free pair latency
+
+// Arg(0): capacity n. Arg(1): pre-load percent. Each iteration is one
+// Get+Free pair on an array pre-loaded to the requested fraction.
+template <typename Array>
+void run_get_free(benchmark::State& state, Array& array,
+                  std::uint64_t preload) {
+  rng::MarsagliaXorshift rng(7);
+  std::vector<std::uint64_t> held;
+  for (std::uint64_t i = 0; i < preload; ++i) {
+    held.push_back(array.get(rng).name);
+  }
+  std::uint64_t probes = 0;
+  for (auto _ : state) {
+    const auto result = array.get(rng);
+    probes += result.probes;
+    array.free(result.name);
+  }
+  state.counters["probes/op"] = benchmark::Counter(
+      static_cast<double>(probes), benchmark::Counter::kAvgIterations);
+  for (const auto name : held) array.free(name);
+}
+
+void BM_LevelArrayGetFree(benchmark::State& state) {
+  core::LevelArrayConfig config;
+  config.capacity = static_cast<std::uint64_t>(state.range(0));
+  core::LevelArray array(config);
+  const auto preload =
+      config.capacity * static_cast<std::uint64_t>(state.range(1)) / 100;
+  run_get_free(state, array, preload);
+}
+BENCHMARK(BM_LevelArrayGetFree)
+    ->Args({1000, 0})
+    ->Args({1000, 50})
+    ->Args({1000, 90})
+    ->Args({100000, 50});
+
+void BM_RandomArrayGetFree(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  arrays::RandomArray array(2 * n, n);
+  run_get_free(state, array, n * static_cast<std::uint64_t>(state.range(1)) / 100);
+}
+BENCHMARK(BM_RandomArrayGetFree)->Args({1000, 50})->Args({1000, 90});
+
+void BM_LinearProbingGetFree(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  arrays::LinearProbingArray array(2 * n, n);
+  run_get_free(state, array, n * static_cast<std::uint64_t>(state.range(1)) / 100);
+}
+BENCHMARK(BM_LinearProbingGetFree)->Args({1000, 50})->Args({1000, 90});
+
+void BM_SequentialScanGetFree(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  arrays::SequentialScanArray array(2 * n, n);
+  run_get_free(state, array, n * static_cast<std::uint64_t>(state.range(1)) / 100);
+}
+BENCHMARK(BM_SequentialScanGetFree)->Args({1000, 50});
+
+// ---------------------------------------------------------------- Collect
+
+void BM_Collect(benchmark::State& state) {
+  core::LevelArrayConfig config;
+  config.capacity = static_cast<std::uint64_t>(state.range(0));
+  core::LevelArray array(config);
+  rng::MarsagliaXorshift rng(3);
+  std::vector<std::uint64_t> held;
+  for (std::uint64_t i = 0; i < config.capacity / 2; ++i) {
+    held.push_back(array.get(rng).name);
+  }
+  std::vector<std::uint64_t> out;
+  out.reserve(array.total_slots());
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(array.collect(out));
+  }
+  state.counters["slots"] =
+      benchmark::Counter(static_cast<double>(array.total_slots()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(array.total_slots()));
+  for (const auto name : held) array.free(name);
+}
+BENCHMARK(BM_Collect)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
