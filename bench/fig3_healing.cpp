@@ -62,11 +62,13 @@ int main(int argc, char** argv) {
   const auto b0 = array.seed_batch_occupancy(
       0, static_cast<std::uint64_t>(
              b0_fill * static_cast<double>(array.geometry().batch(0).size())));
-  const auto b1 = array.seed_batch_occupancy(
-      1, static_cast<std::uint64_t>(
-             b1_fill * static_cast<double>(array.geometry().batch(1).size())));
   pool.insert(pool.end(), b0.begin(), b0.end());
-  pool.insert(pool.end(), b1.begin(), b1.end());
+  if (array.geometry().num_batches() > 1) {
+    const auto b1 = array.seed_batch_occupancy(
+        1, static_cast<std::uint64_t>(
+               b1_fill * static_cast<double>(array.geometry().batch(1).size())));
+    pool.insert(pool.end(), b1.begin(), b1.end());
+  }
 
   std::cout << "# Figure 3: self-healing — batch fill % over time\n"
             << "# n = " << capacity << ", initial B0 fill = " << b0_fill
@@ -86,6 +88,8 @@ int main(int argc, char** argv) {
   stats::Table table(std::move(headers), 1);
 
   rng::MarsagliaXorshift rng(seed);
+  // The churn schedule needs at least one held name to recycle.
+  if (pool.empty()) pool.push_back(array.get(rng).name);
   const auto emit_row = [&](std::uint64_t state, std::uint64_t ops_done) {
     const auto occupancy = array.batch_occupancy();
     const auto report = sim::evaluate_balance(occupancy, capacity);

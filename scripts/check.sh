@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 build+test pass, then an
+# AddressSanitizer/UBSan configure preset with the unit + smoke tests
+# rerun under the sanitizers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo "== ASan/UBSan preset =="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j "${JOBS}"
+(cd build-asan && ctest --output-on-failure)
+
+echo "check.sh: all green"

@@ -1,0 +1,75 @@
+// BitmapActivityArray — layout ablation for collect_cost: one bit per
+// slot (64 slots per 8-byte word) instead of the LevelArray's one byte
+// per slot. Collect scans 8x fewer cache lines; Get pays a CAS-loop on a
+// shared word. Random uniform probing, no batch structure — this isolates
+// the layout variable, not the algorithm.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/types.hpp"
+#include "rng/rng.hpp"
+
+namespace la::arrays {
+
+class BitmapActivityArray {
+ public:
+  BitmapActivityArray(std::uint64_t total_slots, std::uint64_t capacity)
+      : total_slots_(total_slots < 2 ? 2 : total_slots),
+        capacity_(capacity),
+        words_((total_slots_ + 63) / 64) {}
+
+  BitmapActivityArray(const BitmapActivityArray&) = delete;
+  BitmapActivityArray& operator=(const BitmapActivityArray&) = delete;
+
+  template <typename Rng>
+  GetResult get(Rng& rng) {
+    GetResult result;
+    for (;;) {
+      const std::uint64_t slot = rng::bounded(rng, total_slots_);
+      const std::uint64_t mask = std::uint64_t{1} << (slot & 63);
+      auto& word = words_[slot >> 6];
+      ++result.probes;
+      if (word.load(std::memory_order_relaxed) & mask) continue;
+      if ((word.fetch_or(mask, std::memory_order_acquire) & mask) == 0) {
+        result.name = slot;
+        return result;
+      }
+    }
+  }
+
+  void free(std::uint64_t name) {
+    if (name >= total_slots_) {
+      throw std::out_of_range("BitmapActivityArray::free: name out of range");
+    }
+    const std::uint64_t mask = std::uint64_t{1} << (name & 63);
+    words_[name >> 6].fetch_and(~mask, std::memory_order_release);
+  }
+
+  std::size_t collect(std::vector<std::uint64_t>& out) const {
+    std::size_t found = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w].load(std::memory_order_relaxed);
+      while (bits != 0) {
+        const auto bit = static_cast<std::uint64_t>(__builtin_ctzll(bits));
+        out.push_back(static_cast<std::uint64_t>(w) * 64 + bit);
+        ++found;
+        bits &= bits - 1;
+      }
+    }
+    return found;
+  }
+
+  std::uint64_t total_slots() const { return total_slots_; }
+  std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  std::uint64_t total_slots_;
+  std::uint64_t capacity_;
+  std::vector<std::atomic<std::uint64_t>> words_;
+};
+
+}  // namespace la::arrays

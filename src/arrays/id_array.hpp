@@ -1,0 +1,63 @@
+// IdIndexedArray — the strawman of the paper's footnote 1: index the
+// activity array directly by thread id. Get is a single TAS (trivially
+// optimal), but the array — and therefore every Collect — scales with the
+// size of the id space N rather than the contention bound n. idspace_cost
+// measures exactly that gap.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sync/tas_cell.hpp"
+
+namespace la::arrays {
+
+class IdIndexedArray {
+ public:
+  explicit IdIndexedArray(std::uint64_t id_space)
+      : cells_(id_space < 1 ? 1 : id_space) {}
+
+  IdIndexedArray(const IdIndexedArray&) = delete;
+  IdIndexedArray& operator=(const IdIndexedArray&) = delete;
+
+  GetResult get_by_id(std::uint64_t id) {
+    if (id >= cells_.size()) {
+      throw std::out_of_range("IdIndexedArray::get_by_id: id out of range");
+    }
+    GetResult result;
+    result.probes = 1;
+    if (!cells_[id].try_acquire()) {
+      throw std::logic_error("IdIndexedArray: id already registered");
+    }
+    result.name = id;
+    return result;
+  }
+
+  void free(std::uint64_t name) {
+    if (name >= cells_.size()) {
+      throw std::out_of_range("IdIndexedArray::free: name out of range");
+    }
+    cells_[name].release();
+  }
+
+  // Theta(N): must scan the entire id space.
+  std::size_t collect(std::vector<std::uint64_t>& out) const {
+    std::size_t found = 0;
+    for (std::uint64_t id = 0; id < cells_.size(); ++id) {
+      if (cells_[id].held()) {
+        out.push_back(id);
+        ++found;
+      }
+    }
+    return found;
+  }
+
+  std::uint64_t total_slots() const { return cells_.size(); }
+
+ private:
+  std::vector<sync::TasCell> cells_;
+};
+
+}  // namespace la::arrays

@@ -1,0 +1,50 @@
+// Moir-Anderson splitter grid — the classical *deterministic* one-shot
+// renaming comparator. A triangular n x n grid of Lamport/MA splitters;
+// each process walks right/down until a splitter captures it. Worst-case
+// steps grow linearly in n (versus the LevelArray's log log n), namespace
+// size n(n+1)/2, memory Theta(n^2) — which is why oneshot_renaming caps
+// it at n = 4096.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sync/tas_cell.hpp"
+
+namespace la::arrays {
+
+class SplitterGrid {
+ public:
+  explicit SplitterGrid(std::uint32_t n);
+
+  SplitterGrid(const SplitterGrid&) = delete;
+  SplitterGrid& operator=(const SplitterGrid&) = delete;
+
+  // One-shot acquire for a process with a distinct nonzero id. probes =
+  // splitters visited.
+  GetResult get(std::uint64_t process_id);
+
+  // n(n+1)/2 — one name per splitter in the triangle.
+  std::uint64_t namespace_size() const;
+
+  std::uint32_t contention_bound() const { return n_; }
+
+ private:
+  struct Splitter {
+    std::atomic<std::uint32_t> x{0};
+    std::atomic<std::uint8_t> y{0};
+  };
+
+  // Triangular row-major index of splitter (right, down), right+down < n.
+  std::size_t index(std::uint32_t right, std::uint32_t down) const;
+
+  std::uint32_t n_;
+  std::vector<Splitter> grid_;
+  // Safety net only: with <= n one-shot processes the triangle always
+  // captures everyone, but a reserved TAS row keeps get() total anyway.
+  std::vector<sync::TasCell> overflow_;
+};
+
+}  // namespace la::arrays

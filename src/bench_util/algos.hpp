@@ -1,0 +1,68 @@
+// The real-thread churn driver behind the Figure 2 family of benches,
+// plus the algorithm registry. The workload follows the paper's §6
+// methodology: each of n threads emulates `mult` registrants (N = n*mult
+// total), the array holds L = size_factor * N slots, a prefill fraction
+// is registered up front, and the main loop is back-to-back Free+Get
+// churn — either for a fixed op count (reproducible trial metrics) or a
+// fixed wall-clock window (throughput).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arrays/linear_probing_array.hpp"
+#include "arrays/random_array.hpp"
+#include "arrays/sequential_scan_array.hpp"
+#include "core/level_array.hpp"
+#include "rng/rng.hpp"
+#include "stats/summary.hpp"
+
+namespace la::bench {
+
+enum class AlgoKind { kLevelArray, kRandom, kLinearProbing, kSequentialScan };
+
+AlgoKind parse_algo(const std::string& name);
+std::string_view algo_name(AlgoKind kind);
+
+struct DriverConfig {
+  std::uint32_t threads = 1;
+  std::uint64_t emulation_multiplier = 1000;  // registrants per thread
+  double prefill = 0.5;                       // fraction of N held up front
+  // Individual Get and Free operations per thread (a churn iteration
+  // performs two), matching the paper's register/unregister accounting.
+  // 0 = timed mode.
+  std::uint64_t ops_per_thread = 0;
+  double seconds = 0.0;                       // window for timed mode
+  std::uint64_t seed = 42;
+
+  std::uint64_t emulated_registrants() const {
+    return static_cast<std::uint64_t>(threads) * emulation_multiplier;
+  }
+};
+
+struct SweepPoint {
+  DriverConfig driver;
+  double size_factor = 2.0;                    // L = size_factor * N
+  std::vector<std::uint8_t> probes_per_batch;  // empty = LevelArray default
+  rng::RngKind rng_kind = rng::RngKind::kMarsaglia;
+};
+
+struct RunResult {
+  stats::TrialStats trials;          // probes per main-loop Get, all threads
+  std::uint64_t total_ops = 0;       // Gets + Frees completed in the loop
+  double elapsed_seconds = 0.0;
+  double throughput_ops_per_sec = 0.0;
+  double mean_per_thread_worst = 0.0;  // worst case averaged over threads
+  std::uint64_t backup_gets = 0;
+};
+
+// Build the array described by (kind, point) and run the churn workload.
+RunResult run_algo(AlgoKind kind, const SweepPoint& point);
+
+// Same workload against a caller-owned persistent LevelArray (longrun
+// accumulates worst-case stats across chunks this way). Marsaglia probes.
+RunResult run_churn(core::LevelArray& array, const DriverConfig& driver);
+
+}  // namespace la::bench

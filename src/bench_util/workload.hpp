@@ -1,0 +1,77 @@
+// Hold-time distributions for workload_trace: every distribution has the
+// same mean (so by Little's law the same steady-state load), what varies
+// is the shape of the occupancy fluctuation.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "rng/rng.hpp"
+
+namespace la::bench {
+
+enum class HoldDistribution { kFixed, kUniform, kExponential, kPareto, kBimodal };
+
+inline HoldDistribution parse_hold_distribution(const std::string& name) {
+  if (name == "fixed") return HoldDistribution::kFixed;
+  if (name == "uniform") return HoldDistribution::kUniform;
+  if (name == "exponential" || name == "exp") {
+    return HoldDistribution::kExponential;
+  }
+  if (name == "pareto") return HoldDistribution::kPareto;
+  if (name == "bimodal") return HoldDistribution::kBimodal;
+  throw std::invalid_argument("unknown hold distribution: " + name);
+}
+
+inline std::string_view hold_distribution_name(HoldDistribution dist) {
+  switch (dist) {
+    case HoldDistribution::kFixed: return "fixed";
+    case HoldDistribution::kUniform: return "uniform";
+    case HoldDistribution::kExponential: return "exponential";
+    case HoldDistribution::kPareto: return "pareto";
+    case HoldDistribution::kBimodal: return "bimodal";
+  }
+  return "?";
+}
+
+// Draws a hold duration (in iterations, >= 1) with the given mean.
+template <typename Rng>
+std::uint64_t draw_hold_time(Rng& rng, HoldDistribution dist, double mean) {
+  if (mean < 1.0) mean = 1.0;
+  double value = mean;
+  switch (dist) {
+    case HoldDistribution::kFixed:
+      value = mean;
+      break;
+    case HoldDistribution::kUniform:
+      // U{1 .. 2*mean - 1}: mean preserved exactly.
+      return 1 + rng::bounded(
+                     rng, static_cast<std::uint64_t>(2.0 * mean) - 1);
+    case HoldDistribution::kExponential:
+      value = -mean * std::log(1.0 - rng::canonical(rng));
+      value = std::min(value, 50.0 * mean);
+      break;
+    case HoldDistribution::kPareto: {
+      // alpha = 1.5, x_m = mean/3 so the uncapped mean equals `mean`;
+      // capped at 16*mean to keep excursions inside the array headroom.
+      const double alpha = 1.5;
+      const double xm = mean * (alpha - 1.0) / alpha;
+      const double u = 1.0 - rng::canonical(rng);  // (0, 1]
+      value = xm / std::pow(u, 1.0 / alpha);
+      value = std::min(value, 16.0 * mean);
+      break;
+    }
+    case HoldDistribution::kBimodal:
+      // 90% short (mean/2), 10% long (5.5*mean): mean preserved.
+      value = rng::canonical(rng) < 0.9 ? 0.5 * mean : 5.5 * mean;
+      break;
+  }
+  const double rounded = std::floor(value + 0.5);
+  return rounded < 1.0 ? 1 : static_cast<std::uint64_t>(rounded);
+}
+
+}  // namespace la::bench

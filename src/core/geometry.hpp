@@ -1,0 +1,78 @@
+// Batch geometry of the LevelArray: L slots split into batches of
+// doubly-exponentially decreasing size. Batch k ends at
+//
+//     end_k = L - floor(L / 2^(2^(k+1)))
+//
+// so batch 0 holds 3L/4 slots (= 3n/2 for L = 2n), batch 1 holds ~3L/16,
+// and the tail after batch k shrinks as L / 2^(2^(k+1)) — squaring away
+// each step, which is what caps the number of batches at O(log log L) and
+// the probe complexity at O(log log n) w.h.p. The final batch absorbs the
+// integer remainder so the sizes always sum to exactly L.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace la::core {
+
+class Batch {
+ public:
+  Batch(std::uint64_t offset, std::uint64_t size)
+      : offset_(offset), size_(size) {}
+
+  std::uint64_t offset() const { return offset_; }
+  std::uint64_t size() const { return size_; }
+  std::uint64_t end() const { return offset_ + size_; }
+
+ private:
+  std::uint64_t offset_;
+  std::uint64_t size_;
+};
+
+class Geometry {
+ public:
+  explicit Geometry(std::uint64_t total_slots)
+      : total_slots_(total_slots < 2 ? 2 : total_slots) {
+    std::uint64_t start = 0;
+    std::uint32_t k = 0;
+    while (start < total_slots_) {
+      // 2^(k+1), saturated at 64 so the shift below stays defined; a
+      // 64-bit tail is empty from that point on anyway.
+      const std::uint32_t exp = k + 1 < 6 ? (1u << (k + 1)) : 64;
+      const std::uint64_t tail = exp >= 64 ? 0 : total_slots_ >> exp;
+      std::uint64_t end = total_slots_ - tail;
+      if (end <= start || tail == 0) end = total_slots_;
+      batches_.emplace_back(start, end - start);
+      start = end;
+      ++k;
+    }
+  }
+
+  std::uint32_t num_batches() const {
+    return static_cast<std::uint32_t>(batches_.size());
+  }
+
+  const Batch& batch(std::uint32_t k) const {
+    if (k >= batches_.size()) {
+      throw std::out_of_range("Geometry::batch: index out of range");
+    }
+    return batches_[k];
+  }
+
+  std::uint64_t total_slots() const { return total_slots_; }
+
+  // Which batch a slot index falls in (at most ~6 batches; linear scan).
+  std::uint32_t batch_of_slot(std::uint64_t slot) const {
+    for (std::uint32_t k = 0; k < batches_.size(); ++k) {
+      if (slot < batches_[k].end()) return k;
+    }
+    return num_batches() - 1;
+  }
+
+ private:
+  std::uint64_t total_slots_;
+  std::vector<Batch> batches_;
+};
+
+}  // namespace la::core

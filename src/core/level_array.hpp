@@ -1,0 +1,149 @@
+// The LevelArray of Alistarh, Kopinsky, Matveev and Shavit (ICDCS'14):
+// long-lived renaming over an array of L = 2n test-and-set slots split
+// into doubly-exponentially shrinking batches. Get performs c_i random
+// probes in batch i before moving on; names are slot indices; Free is a
+// single release. If every batch's probes fail (rare by construction) a
+// deterministic backup sweep guarantees termination, since at most n of
+// the L = 2n slots can be held.
+//
+// The structure is "self-healing": started from any bad occupancy
+// distribution, steady-state churn drains overcrowded deep batches back
+// toward the balanced state (paper Fig. 3, reproduced by fig3_healing).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "core/types.hpp"
+#include "rng/rng.hpp"
+#include "sync/tas_cell.hpp"
+
+namespace la::core {
+
+struct LevelArrayConfig {
+  // Contention bound n: the maximum number of concurrently held names.
+  std::uint64_t capacity = 1024;
+  // L = size_multiplier * capacity (paper: 2.0; §6 sweeps 2N..4N).
+  double size_multiplier = 2.0;
+  // c_i, probes per batch; the last entry repeats for deeper batches.
+  // The paper's implementation uses {1}; its analysis assumes c_i >= 16.
+  std::vector<std::uint8_t> probes_per_batch = {1};
+};
+
+class LevelArray {
+ public:
+  explicit LevelArray(const LevelArrayConfig& config)
+      : config_(config),
+        geometry_(slot_count(config)),
+        slots_(geometry_.total_slots()) {}
+
+  LevelArray(const LevelArray&) = delete;
+  LevelArray& operator=(const LevelArray&) = delete;
+
+  template <typename Rng>
+  GetResult get(Rng& rng) {
+    GetResult result;
+    for (;;) {
+      for (std::uint32_t k = 0; k < geometry_.num_batches(); ++k) {
+        const Batch& batch = geometry_.batch(k);
+        result.deepest_batch = k;
+        const std::uint8_t c = probes_for(k);
+        for (std::uint8_t t = 0; t < c; ++t) {
+          const std::uint64_t slot =
+              batch.offset() + rng::bounded(rng, batch.size());
+          ++result.probes;
+          if (slots_[slot].try_acquire()) {
+            result.name = slot;
+            return result;
+          }
+        }
+      }
+      // Backup: deterministic first-fit sweep. With at most n = capacity
+      // names held out of L >= 2n slots this always finds one; the loop
+      // re-enters the randomized phase only under transient races.
+      result.used_backup = true;
+      for (std::uint64_t slot = 0; slot < slots_.size(); ++slot) {
+        if (slots_[slot].held()) continue;
+        if (slots_[slot].try_acquire()) {
+          result.name = slot;
+          return result;
+        }
+      }
+    }
+  }
+
+  void free(std::uint64_t name) {
+    if (name >= slots_.size()) {
+      throw std::out_of_range("LevelArray::free: name out of range");
+    }
+    slots_[name].release();
+  }
+
+  // Appends the names of all held slots to out; returns how many were
+  // found. Theta(L) by design — the dense byte layout is what makes this
+  // a sequential cache-friendly scan.
+  std::size_t collect(std::vector<std::uint64_t>& out) const {
+    std::size_t found = 0;
+    for (std::uint64_t slot = 0; slot < slots_.size(); ++slot) {
+      if (slots_[slot].held()) {
+        out.push_back(slot);
+        ++found;
+      }
+    }
+    return found;
+  }
+
+  std::uint64_t total_slots() const { return geometry_.total_slots(); }
+  const Geometry& geometry() const { return geometry_; }
+  const LevelArrayConfig& config() const { return config_; }
+
+  std::uint8_t probes_for(std::uint32_t batch) const {
+    const auto& pv = config_.probes_per_batch;
+    if (pv.empty()) return 1;
+    const std::size_t i =
+        batch < pv.size() ? batch : pv.size() - 1;
+    return pv[i] == 0 ? 1 : pv[i];
+  }
+
+  // Occupied-slot count per batch (racy snapshot under concurrency).
+  std::vector<std::uint64_t> batch_occupancy() const {
+    std::vector<std::uint64_t> occupancy(geometry_.num_batches(), 0);
+    for (std::uint32_t k = 0; k < geometry_.num_batches(); ++k) {
+      const Batch& batch = geometry_.batch(k);
+      for (std::uint64_t s = batch.offset(); s < batch.end(); ++s) {
+        if (slots_[s].held()) ++occupancy[k];
+      }
+    }
+    return occupancy;
+  }
+
+  // Force `count` slots of the given batch into the held state and return
+  // their names — how fig3_healing constructs the paper's bad initial
+  // distribution. Returns fewer names if the batch runs out of free slots.
+  std::vector<std::uint64_t> seed_batch_occupancy(std::uint32_t batch_index,
+                                                  std::uint64_t count) {
+    const Batch& batch = geometry_.batch(batch_index);
+    std::vector<std::uint64_t> names;
+    names.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t s = batch.offset();
+         s < batch.end() && names.size() < count; ++s) {
+      if (slots_[s].try_acquire()) names.push_back(s);
+    }
+    return names;
+  }
+
+ private:
+  static std::uint64_t slot_count(const LevelArrayConfig& config) {
+    const auto slots = static_cast<std::uint64_t>(
+        config.size_multiplier * static_cast<double>(config.capacity));
+    return slots < 2 ? 2 : slots;
+  }
+
+  LevelArrayConfig config_;
+  Geometry geometry_;
+  std::vector<sync::TasCell> slots_;
+};
+
+}  // namespace la::core

@@ -1,0 +1,140 @@
+// Probe-sequence random number generators. The paper's implementation
+// uses Marsaglia xorshift and Park-Miller (Lehmer), "alternatively, and
+// found no difference between the results" (§6); PCG32 is carried as a
+// modern control for the ablation bench.
+//
+// All generators expose the std-style static min()/max() and a
+// std::uint64_t operator(), so bounded() / canonical() work generically.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace la::rng {
+
+// Marsaglia xorshift64*, period 2^64 - 1. The multiplier scrambles the
+// low bits, which bounded() feeds straight into batch offsets.
+class MarsagliaXorshift {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit MarsagliaXorshift(std::uint64_t seed)
+      : state_(seed != 0 ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  std::uint64_t operator()() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Park-Miller minimal standard generator (Lehmer): x <- 48271 x mod M31.
+class Lehmer {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Lehmer(std::uint64_t seed) : state_(seed % kModulus) {
+    if (state_ == 0) state_ = 1;
+  }
+
+  std::uint64_t operator()() {
+    state_ = (state_ * 48271ull) % kModulus;
+    return state_;
+  }
+
+  static constexpr std::uint64_t min() { return 1; }
+  static constexpr std::uint64_t max() { return kModulus - 1; }
+
+ private:
+  static constexpr std::uint64_t kModulus = 2147483647ull;  // 2^31 - 1
+  std::uint64_t state_;
+};
+
+// PCG32 (O'Neill): 64-bit LCG state, xorshift-rotate output.
+class Pcg32 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Pcg32(std::uint64_t seed,
+                 std::uint64_t stream = 0xDA3E39CB94B95BDBull)
+      : state_(0), inc_((stream << 1) | 1) {
+    (*this)();
+    state_ += seed;
+    (*this)();
+  }
+
+  std::uint64_t operator()() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ull + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+    const auto rot = static_cast<std::uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return 0xFFFFFFFFull; }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+// Uniform draw in [0, n). Multiply-shift instead of modulo: no divide on
+// the Get hot path. Bias is <= n / range, negligible for every array size
+// the benches use.
+template <typename Rng>
+std::uint64_t bounded(Rng& rng, std::uint64_t n) {
+  if (n <= 1) return 0;
+  constexpr std::uint64_t range = Rng::max() - Rng::min();
+  if constexpr (range == std::numeric_limits<std::uint64_t>::max()) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(rng()) * n) >> 64);
+  } else {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(rng() - Rng::min()) * n) /
+        (range + 1));
+  }
+}
+
+// Uniform double in [0, 1).
+template <typename Rng>
+double canonical(Rng& rng) {
+  const double range = static_cast<double>(Rng::max() - Rng::min()) + 1.0;
+  double u = static_cast<double>(rng() - Rng::min()) / range;
+  if (u >= 1.0) u = 0.99999999999999989;
+  return u;
+}
+
+// SplitMix64 finalizer — decorrelates (seed, salt) pairs so per-thread /
+// per-trial streams never overlap even for adjacent seeds.
+inline std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+enum class RngKind { kMarsaglia, kLehmer, kPcg32 };
+
+inline RngKind parse_rng_kind(const std::string& name) {
+  if (name == "marsaglia" || name == "xorshift") return RngKind::kMarsaglia;
+  if (name == "lehmer" || name == "park-miller" || name == "parkmiller") {
+    return RngKind::kLehmer;
+  }
+  if (name == "pcg32" || name == "pcg") return RngKind::kPcg32;
+  throw std::invalid_argument("unknown rng kind: " + name);
+}
+
+}  // namespace la::rng

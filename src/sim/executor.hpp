@@ -1,0 +1,135 @@
+// Simulated executions against an oblivious adversary: n emulated
+// processes, each with a tape of Get/Free work, advanced one atomic
+// operation at a time in an order fixed by a Schedule *before* the random
+// probe choices are drawn — exactly the adversary model of the paper's
+// analysis. This is the theory-side harness (balance_check,
+// oneshot_renaming); the wall-clock benches use real threads via
+// bench_util instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/level_array.hpp"
+#include "rng/rng.hpp"
+#include "sim/metrics.hpp"
+#include "stats/summary.hpp"
+
+namespace la::sim {
+
+struct ExecutorOptions {
+  core::LevelArrayConfig config;
+  std::uint64_t seed = 1;
+};
+
+// What one emulated process does over its lifetime.
+class ProcessInput {
+ public:
+  // Exactly one Get, never freed — the Broder-Karlin one-shot setting.
+  static ProcessInput one_shot() { return ProcessInput(1, 1, false); }
+
+  // `rounds` rounds of (acquire `holds` names, then free them all).
+  static ProcessInput churn(std::uint64_t rounds, std::uint64_t holds) {
+    return ProcessInput(rounds == 0 ? 1 : rounds, holds == 0 ? 1 : holds,
+                        true);
+  }
+
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t holds() const { return holds_; }
+  bool frees() const { return frees_; }
+
+ private:
+  ProcessInput(std::uint64_t rounds, std::uint64_t holds, bool frees)
+      : rounds_(rounds), holds_(holds), frees_(frees) {}
+
+  std::uint64_t rounds_;
+  std::uint64_t holds_;
+  bool frees_;
+};
+
+// A fixed order of process activations — the oblivious adversary's move,
+// committed before any coin flips.
+class Schedule {
+ public:
+  static Schedule uniform_random(std::uint32_t n, std::size_t steps,
+                                 std::uint64_t seed);
+  static Schedule round_robin(std::uint32_t n, std::size_t steps);
+  // One random process runs `burst` consecutive steps, then the adversary
+  // picks again.
+  static Schedule bursty(std::uint32_t n, std::size_t steps,
+                         std::uint32_t burst, std::uint64_t seed);
+  // Zipf(exponent) over process ids: a few processes hog the schedule.
+  static Schedule skewed(std::uint32_t n, std::size_t steps, double exponent,
+                         std::uint64_t seed);
+
+  const std::vector<std::uint32_t>& order() const { return order_; }
+
+ private:
+  explicit Schedule(std::vector<std::uint32_t> order)
+      : order_(std::move(order)) {}
+
+  std::vector<std::uint32_t> order_;
+};
+
+class Executor {
+ public:
+  Executor(ExecutorOptions options, std::vector<ProcessInput> inputs,
+           Schedule schedule);
+
+  void run();
+
+  std::uint64_t completed_gets() const { return completed_gets_; }
+  std::uint64_t backup_gets() const { return backup_gets_; }
+  const stats::TrialStats& get_stats() const { return get_stats_; }
+  const core::LevelArray& array() const { return array_; }
+
+  // reach_counts()[k] = number of completed Gets whose probe sequence
+  // reached batch k (so [0] counts every Get).
+  const std::vector<std::uint64_t>& reach_counts() const {
+    return reach_counts_;
+  }
+
+  BalanceReport balance() const {
+    return evaluate_balance(array_.batch_occupancy(),
+                            options_.config.capacity);
+  }
+
+  // Invoke fn(*this) every `every` schedule steps while running.
+  void set_step_observer(std::function<void(const Executor&)> fn,
+                         std::uint64_t every) {
+    observer_ = std::move(fn);
+    observe_every_ = every == 0 ? 1 : every;
+  }
+
+ private:
+  struct Process {
+    explicit Process(const ProcessInput& in, std::uint64_t seed)
+        : input(in), rng(seed), rounds_left(in.rounds()) {}
+
+    ProcessInput input;
+    rng::MarsagliaXorshift rng;
+    std::uint64_t rounds_left;
+    std::vector<std::uint64_t> held;
+    bool acquiring = true;
+    bool done = false;
+  };
+
+  void step(std::uint32_t pid);
+
+  ExecutorOptions options_;
+  core::LevelArray array_;
+  Schedule schedule_;
+  std::vector<Process> processes_;
+  std::uint64_t done_count_ = 0;
+
+  stats::TrialStats get_stats_;
+  std::uint64_t completed_gets_ = 0;
+  std::uint64_t backup_gets_ = 0;
+  std::vector<std::uint64_t> reach_counts_;
+
+  std::function<void(const Executor&)> observer_;
+  std::uint64_t observe_every_ = 1;
+};
+
+}  // namespace la::sim

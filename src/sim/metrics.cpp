@@ -1,0 +1,62 @@
+#include "sim/metrics.hpp"
+
+#include <cmath>
+
+#include "core/geometry.hpp"
+
+namespace la::sim {
+namespace {
+
+// Batches this small are noise-dominated (a couple of occupants flips
+// them across the 50% line); the backup sweep absorbs their overflow.
+constexpr std::uint64_t kMinTrackedBatchSlots = 16;
+
+std::uint32_t ceil_log2(std::uint64_t v) {
+  std::uint32_t bits = 0;
+  std::uint64_t pow = 1;
+  while (pow < v) {
+    pow <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+std::uint32_t loglog_batches(std::uint64_t n) {
+  if (n < 4) n = 4;
+  return ceil_log2(ceil_log2(n));
+}
+
+double reach_probability_bound(std::uint32_t batch) {
+  if (batch == 0) return 1.0;
+  const double exponent =
+      batch < 63 ? static_cast<double>((std::uint64_t{1} << batch) - 1)
+                 : 9.0e18;
+  return std::pow(2.0, -exponent);
+}
+
+std::uint64_t overcrowding_threshold(std::uint32_t batch,
+                                     std::uint64_t capacity) {
+  const core::Geometry geometry(capacity < 1 ? 2 : 2 * capacity);
+  if (batch >= geometry.num_batches()) return 0;
+  const std::uint64_t size = geometry.batch(batch).size();
+  if (batch == 0) return size;
+  return (size + 1) / 2;
+}
+
+BalanceReport evaluate_balance(const std::vector<std::uint64_t>& occupancy,
+                               std::uint64_t capacity) {
+  const core::Geometry geometry(capacity < 1 ? 2 : 2 * capacity);
+  BalanceReport report;
+  report.overcrowded.assign(occupancy.size(), 0);
+  for (std::uint32_t k = 1;
+       k < occupancy.size() && k < geometry.num_batches(); ++k) {
+    const std::uint64_t size = geometry.batch(k).size();
+    if (size < kMinTrackedBatchSlots) continue;
+    if (occupancy[k] >= (size + 1) / 2) report.overcrowded[k] = 1;
+  }
+  return report;
+}
+
+}  // namespace la::sim

@@ -1,0 +1,50 @@
+// Analysis-side quantities from the paper, used by the simulated
+// (single-stepped, oblivious-adversary) benches:
+//
+//   * loglog_batches(n)          — the O(log log n) batch budget of Thm 1.
+//   * reach_probability_bound(k) — Definition 1 (regularity): pi_k, an
+//     upper bound on the probability that a Get reaches batch k, valid
+//     for the analysis constants c_i >= 16.
+//   * overcrowding_threshold / evaluate_balance — Definition 2 /
+//     Proposition 3 (balance): a batch k >= 1 is overcrowded when it is
+//     at least half full. Batch 0 is exempt (it is sized 3n/2 precisely
+//     to hold the bulk), as are batches with fewer than 16 slots, whose
+//     occupancy is noise-dominated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace la::sim {
+
+// Number of batches the analysis tracks: ceil(log2 log2 n).
+std::uint32_t loglog_batches(std::uint64_t n);
+
+// Definition 1: pi_k = 2^-(2^k - 1), the regularity bound on the fraction
+// of Gets that reach batch k (c_i >= 16 required for the bound to apply).
+double reach_probability_bound(std::uint32_t batch);
+
+// Definition 2 (calibrated): the minimum occupant count at which batch k
+// of a capacity-n LevelArray (default geometry, L = 2n) counts as
+// overcrowded. ceil(batch_size / 2) for k >= 1; batch 0 is never
+// overcrowded, so its threshold is its full size.
+std::uint64_t overcrowding_threshold(std::uint32_t batch,
+                                     std::uint64_t capacity);
+
+struct BalanceReport {
+  std::vector<std::uint8_t> overcrowded;  // per batch, 1 = overcrowded
+
+  bool fully_balanced() const {
+    for (const auto flag : overcrowded) {
+      if (flag != 0) return false;
+    }
+    return true;
+  }
+};
+
+// Applies the Definition 2 thresholds to a batch_occupancy() snapshot of
+// a capacity-n LevelArray with the default L = 2n geometry.
+BalanceReport evaluate_balance(const std::vector<std::uint64_t>& occupancy,
+                               std::uint64_t capacity);
+
+}  // namespace la::sim

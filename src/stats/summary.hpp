@@ -1,0 +1,95 @@
+// TrialStats — the per-Get probe-count ("number of trials") aggregate
+// every bench reports: mean, stddev, worst case, tail percentiles, and
+// the full histogram. Probe counts are small integers (the whole point of
+// the paper), so an exact histogram is cheaper and more faithful than any
+// sketch. Mergeable across threads / trial chunks.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace la::stats {
+
+class TrialStats {
+ public:
+  void record(std::uint64_t probes) {
+    if (probes >= counts_.size()) {
+      counts_.resize(static_cast<std::size_t>(probes) + 1, 0);
+    }
+    ++counts_[static_cast<std::size_t>(probes)];
+    ++operations_;
+    sum_ += probes;
+    sum_sq_ += static_cast<double>(probes) * static_cast<double>(probes);
+    if (probes > worst_) worst_ = probes;
+  }
+
+  void merge(const TrialStats& other) {
+    if (other.counts_.size() > counts_.size()) {
+      counts_.resize(other.counts_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    operations_ += other.operations_;
+    sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
+    if (other.worst_ > worst_) worst_ = other.worst_;
+  }
+
+  std::uint64_t operations() const { return operations_; }
+  std::uint64_t worst_case() const { return worst_; }
+
+  double average() const {
+    return operations_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(operations_);
+  }
+
+  double stddev() const {
+    if (operations_ < 2) return 0.0;
+    const double n = static_cast<double>(operations_);
+    const double mean = static_cast<double>(sum_) / n;
+    const double var = (sum_sq_ - n * mean * mean) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+
+  double percentile(double q) const {
+    if (operations_ == 0) return 0.0;
+    const double target = q * static_cast<double>(operations_);
+    std::uint64_t cumulative = 0;
+    for (std::size_t v = 0; v < counts_.size(); ++v) {
+      cumulative += counts_[v];
+      if (static_cast<double>(cumulative) >= target) {
+        return static_cast<double>(v);
+      }
+    }
+    return static_cast<double>(worst_);
+  }
+
+  double p99() const { return percentile(0.99); }
+  double p999() const { return percentile(0.999); }
+
+  // Exact histogram, indexed by probe count, sized worst_case() + 1.
+  std::vector<std::uint64_t> histogram() const {
+    std::vector<std::uint64_t> h(counts_.begin(),
+                                 counts_.begin() + static_cast<std::ptrdiff_t>(
+                                                       hist_size()));
+    h.resize(static_cast<std::size_t>(worst_) + 1, 0);
+    return h;
+  }
+
+ private:
+  std::size_t hist_size() const {
+    const auto want = static_cast<std::size_t>(worst_) + 1;
+    return want < counts_.size() ? want : counts_.size();
+  }
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t operations_ = 0;
+  std::uint64_t sum_ = 0;
+  double sum_sq_ = 0.0;
+  std::uint64_t worst_ = 0;
+};
+
+}  // namespace la::stats

@@ -1,0 +1,101 @@
+#include "stats/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace la::stats {
+
+Table::Table(std::vector<std::string> headers, int precision)
+    : headers_(std::move(headers)), precision_(precision) {}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: expected " +
+                                std::to_string(headers_.size()) +
+                                " cells, got " + std::to_string(cells.size()));
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(const Cell& cell, bool csv) const {
+  if (const auto* u = std::get_if<std::uint64_t>(&cell)) {
+    return std::to_string(*u);
+  }
+  if (const auto* d = std::get_if<double>(&cell)) {
+    char buf[64];
+    const double v = *d;
+    // Tiny-but-nonzero values (probability bounds, reach fractions) would
+    // round to 0 at fixed precision; fall back to scientific for those.
+    if (v != 0.0 && std::fabs(v) < std::pow(10.0, -precision_)) {
+      std::snprintf(buf, sizeof(buf), "%.*e", precision_, v);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.*f", precision_, v);
+    }
+    return buf;
+  }
+  const auto& s = std::get<std::string>(cell);
+  if (!csv) return s;
+  // Minimal CSV quoting.
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string quoted = "\"";
+  for (const char c : s) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  std::vector<std::vector<std::string>> formatted;
+  formatted.reserve(rows_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c], /*csv=*/false));
+      if (cells.back().size() > widths[c]) widths[c] = cells.back().size();
+    }
+    formatted.push_back(std::move(cells));
+  }
+
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << "  ";
+      // Right-align; fixed-width columns line decimal points up well
+      // enough for eyeballing sweeps.
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) {
+        os << ' ';
+      }
+      os << cells[c];
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  for (const auto& cells : formatted) emit(cells);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& cell : row) cells.push_back(format_cell(cell, true));
+    emit(cells);
+  }
+}
+
+}  // namespace la::stats

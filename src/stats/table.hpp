@@ -1,0 +1,37 @@
+// Table — the shared report sink: aligned text for terminals, CSV for
+// plotting pipelines. Cells are uint64 / double / string; benches are
+// expected to pass exactly those types (the variant is deliberately
+// narrow so ambiguous integer widths fail at compile time instead of
+// printing wrong columns).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace la::stats {
+
+class Table {
+ public:
+  using Cell = std::variant<std::uint64_t, double, std::string>;
+
+  explicit Table(std::vector<std::string> headers, int precision = 3);
+
+  void add_row(std::vector<Cell> cells);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string format_cell(const Cell& cell, bool csv) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace la::stats

@@ -1,0 +1,25 @@
+// Cache-line utilities: the constant and a padded wrapper used to keep
+// per-thread counters on distinct lines (false sharing is the dominant
+// noise source in the probe-latency benches).
+#pragma once
+
+#include <cstddef>
+
+namespace la::sync {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// A value padded out to its own cache line. Dereference like a pointer:
+//   std::vector<CachePadded<Welford>> per_thread(n);
+//   per_thread[tid]->add(x);   *per_thread[tid] = v;
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  T value{};
+
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+}  // namespace la::sync

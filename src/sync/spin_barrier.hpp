@@ -1,0 +1,45 @@
+// Sense-reversing spin barrier. Reusable across rounds as long as rounds
+// are separated by a join (which is how every bench uses it).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace la::sync {
+
+inline void spin_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::uint32_t participants)
+      : participants_(participants == 0 ? 1 : participants) {}
+
+  std::uint32_t participants() const { return participants_; }
+
+  void wait() {
+    const bool old_sense = sense_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(!old_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) == old_sense) spin_pause();
+    }
+  }
+
+ private:
+  const std::uint32_t participants_;
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace la::sync

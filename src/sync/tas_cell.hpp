@@ -1,0 +1,35 @@
+// TasCell — one byte-wide test-and-set slot, the unit cell of every
+// activity array in this library. The paper's layout argument (§1, §5)
+// depends on the cell being a single dense byte: Collect() then reads 64
+// slots per cache line, which is what makes full-array scans cheap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace la::sync {
+
+class TasCell {
+ public:
+  TasCell() = default;
+  TasCell(const TasCell&) = delete;
+  TasCell& operator=(const TasCell&) = delete;
+
+  // Test-and-test-and-set: the relaxed read keeps failed probes from
+  // bouncing the line into exclusive state.
+  bool try_acquire() {
+    if (flag_.load(std::memory_order_relaxed) != 0) return false;
+    return flag_.exchange(1, std::memory_order_acquire) == 0;
+  }
+
+  void release() { flag_.store(0, std::memory_order_release); }
+
+  bool held() const { return flag_.load(std::memory_order_relaxed) != 0; }
+
+ private:
+  std::atomic<std::uint8_t> flag_{0};
+};
+
+static_assert(sizeof(TasCell) == 1, "activity arrays require dense 1-byte slots");
+
+}  // namespace la::sync

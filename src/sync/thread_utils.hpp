@@ -1,0 +1,39 @@
+// ThreadGroup — scoped fork/join. Threads spawned with spawn(count, fn)
+// run fn(tid) and are joined when the group leaves scope, so benches can
+// bracket a parallel section with plain braces.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace la::sync {
+
+class ThreadGroup {
+ public:
+  ThreadGroup() = default;
+  ThreadGroup(const ThreadGroup&) = delete;
+  ThreadGroup& operator=(const ThreadGroup&) = delete;
+  ~ThreadGroup() { join(); }
+
+  template <typename Fn>
+  void spawn(std::uint32_t count, Fn fn) {
+    threads_.reserve(threads_.size() + count);
+    for (std::uint32_t tid = 0; tid < count; ++tid) {
+      threads_.emplace_back(fn, tid);
+    }
+  }
+
+  void join() {
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace la::sync

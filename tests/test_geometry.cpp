@@ -1,0 +1,112 @@
+// Pins the batch geometry: slots sum to exactly L = 2n, batch 0 holds
+// 3L/4, and the tail after each batch obeys the doubly-exponential law
+// tail_{k+1} = tail_k^2 / L (exact on power-of-two L).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/geometry.hpp"
+#include "core/level_array.hpp"
+
+namespace {
+
+int failures = 0;
+
+#define CHECK(cond)                                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__,      \
+                   #cond);                                              \
+      ++failures;                                                       \
+    }                                                                   \
+  } while (0)
+
+void check_geometry(std::uint64_t n) {
+  const std::uint64_t total = 2 * n;
+  const la::core::Geometry geometry(total);
+
+  CHECK(geometry.total_slots() == total);
+  CHECK(geometry.num_batches() >= 1);
+  CHECK(geometry.num_batches() <= 6);
+
+  // Slots partition [0, L) exactly.
+  std::uint64_t sum = 0;
+  std::uint64_t expected_offset = 0;
+  for (std::uint32_t k = 0; k < geometry.num_batches(); ++k) {
+    const auto& batch = geometry.batch(k);
+    CHECK(batch.offset() == expected_offset);
+    CHECK(batch.size() >= 1);
+    expected_offset = batch.end();
+    sum += batch.size();
+  }
+  CHECK(sum == total);
+
+  // Batch 0 holds 3L/4 (= 3n/2 slots for L = 2n).
+  CHECK(geometry.batch(0).size() == total - total / 4);
+
+  // Sizes strictly shrink across batches.
+  for (std::uint32_t k = 0; k + 1 < geometry.num_batches(); ++k) {
+    CHECK(geometry.batch(k + 1).size() < geometry.batch(k).size());
+  }
+
+  // Doubly-exponential decay: the tail after batch k squares away. For
+  // power-of-two L the law tail_{k+1} = tail_k^2 / L is exact.
+  if ((total & (total - 1)) == 0) {
+    std::uint64_t tail = total / 4;
+    for (std::uint32_t k = 0; k + 1 < geometry.num_batches(); ++k) {
+      CHECK(total - geometry.batch(k).end() == tail);
+      tail = tail * tail / total;
+    }
+  }
+
+  // batch_of_slot agrees with the partition.
+  for (std::uint32_t k = 0; k < geometry.num_batches(); ++k) {
+    const auto& batch = geometry.batch(k);
+    CHECK(geometry.batch_of_slot(batch.offset()) == k);
+    CHECK(geometry.batch_of_slot(batch.end() - 1) == k);
+  }
+}
+
+}  // namespace
+
+int main() {
+  for (const std::uint64_t n :
+       {std::uint64_t{8}, std::uint64_t{32}, std::uint64_t{512},
+        std::uint64_t{1024}, std::uint64_t{50000}, std::uint64_t{65536}}) {
+    check_geometry(n);
+  }
+
+  // Known exact values for n = 1024 (L = 2048): 1536 + 384 + 120 + 8.
+  {
+    const la::core::Geometry geometry(2048);
+    CHECK(geometry.num_batches() == 4);
+    CHECK(geometry.batch(0).size() == 1536);
+    CHECK(geometry.batch(1).size() == 384);
+    CHECK(geometry.batch(2).size() == 120);
+    CHECK(geometry.batch(3).size() == 8);
+  }
+
+  // LevelArray wires capacity through: L = 2n by default.
+  {
+    la::core::LevelArrayConfig config;
+    config.capacity = 1000;
+    const la::core::LevelArray array(config);
+    CHECK(array.total_slots() == 2000);
+    CHECK(array.geometry().num_batches() >= 2);
+  }
+
+  // Degenerate sizes must not crash.
+  {
+    const la::core::Geometry tiny(2);
+    CHECK(tiny.num_batches() == 1);
+    CHECK(tiny.batch(0).size() == 2);
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "%d geometry check(s) failed\n", failures);
+    return 1;
+  }
+  std::puts("test_geometry: OK");
+  return 0;
+}
