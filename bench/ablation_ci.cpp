@@ -58,15 +58,14 @@ int main(int argc, char** argv) {
     point.driver.ops_per_thread = ops;
     point.driver.seed = seed;
     point.probes_per_batch = {static_cast<std::uint8_t>(ci)};
-    const auto result = bench::run_algo(bench::AlgoKind::kLevelArray, point);
+    const auto result = bench::run_algo("level", point);
 
     // Separate timed run for throughput (op-count runs measure elapsed
     // time too, but a fixed window matches the paper's methodology).
     bench::SweepPoint timed = point;
     timed.driver.ops_per_thread = 0;
     timed.driver.seconds = seconds;
-    const auto timed_result =
-        bench::run_algo(bench::AlgoKind::kLevelArray, timed);
+    const auto timed_result = bench::run_algo("level", timed);
 
     table.add_row({std::uint64_t{ci}, result.trials.average(),
                    result.trials.stddev(), result.trials.worst_case(),

@@ -19,7 +19,7 @@ void print_usage() {
       "  --mult=1000          emulated registrants per thread\n"
       "  --prefill=0.5        pre-fill fraction\n"
       "  --rngs=marsaglia,lehmer,pcg32  generators to sweep\n"
-      "  --algo=level         algorithm to drive\n"
+      "  --algo=level         structure to drive (any registered name)\n"
       "  --seed=42            base RNG seed\n"
       "  --csv                emit CSV\n";
 }
@@ -40,10 +40,10 @@ int main(int argc, char** argv) {
   const double prefill = opts.get_double("prefill", 0.5);
   const auto rng_names =
       opts.get_string_list("rngs", {"marsaglia", "lehmer", "pcg32"});
-  const auto kind = bench::parse_algo(opts.get_string("algo", "level"));
+  const auto algo = bench::parse_algo(opts.get_string("algo", "level"));
   const auto seed = opts.get_uint("seed", 42);
 
-  std::cout << "# RNG ablation: " << bench::algo_name(kind) << ", " << threads
+  std::cout << "# RNG ablation: " << bench::algo_name(algo) << ", " << threads
             << " threads, N = " << mult << " * threads, prefill = " << prefill
             << "\n# paper: no difference between Marsaglia and Park-Miller\n";
 
@@ -55,8 +55,8 @@ int main(int argc, char** argv) {
     point.driver.prefill = prefill;
     point.driver.ops_per_thread = ops;
     point.driver.seed = seed;
-    point.rng_kind = rng::parse_rng_kind(rng_name);
-    const auto result = bench::run_algo(kind, point);
+    point.driver.rng_kind = rng::parse_rng_kind(rng_name);
+    const auto result = bench::run_algo(algo, point);
     table.add_row({rng_name, result.trials.average(), result.trials.stddev(),
                    result.trials.worst_case(), result.trials.p99()});
   }

@@ -18,7 +18,7 @@ void print_usage() {
       "  --mult=1000          emulated registrants per thread\n"
       "  --factors=200,250,300,400  L/N in percent (paper: 2N..4N)\n"
       "  --prefill=0.5        pre-fill fraction\n"
-      "  --algo=level,random,linear algorithms\n"
+      "  --algo=level,random,linear structures ('all' = every registered)\n"
       "  --seed=42            base RNG seed\n"
       "  --csv                emit CSV\n";
 }
@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
   const auto mult = opts.get_uint("mult", 1000);
   const auto factors_pct = opts.get_uint_list("factors", {200, 250, 300, 400});
   const double prefill = opts.get_double("prefill", 0.5);
-  const auto algos = opts.get_string_list("algo", {"level", "random", "linear"});
+  const auto algos = bench::expand_algos(
+      opts.get_string_list("algo", {"level", "random", "linear"}));
   const auto seed = opts.get_uint("seed", 42);
 
   std::cout << "# Array-size sweep: " << threads << " threads, N = " << mult
@@ -46,8 +47,7 @@ int main(int argc, char** argv) {
 
   stats::Table table({"algo", "L_over_N", "avg_trials", "stddev",
                       "worst_global", "p99"});
-  for (const auto& algo_str : algos) {
-    const auto kind = bench::parse_algo(algo_str);
+  for (const auto& algo : algos) {
     for (const auto factor_pct : factors_pct) {
       bench::SweepPoint point;
       point.driver.threads = threads;
@@ -56,8 +56,16 @@ int main(int argc, char** argv) {
       point.driver.ops_per_thread = ops;
       point.driver.seed = seed;
       point.size_factor = static_cast<double>(factor_pct) / 100.0;
-      const auto result = bench::run_algo(kind, point);
-      table.add_row({std::string(bench::algo_name(kind)),
+      bench::RunResult result;
+      try {
+        result = bench::run_algo(algo, point);
+      } catch (const std::invalid_argument& e) {
+        // A structure may refuse a sweep point (e.g. the splitter's
+        // quadratic-memory cap); keep the rest of the sweep's results.
+        std::cerr << "warning: skipping " << algo << ": " << e.what() << "\n";
+        continue;
+      }
+      table.add_row({std::string(bench::algo_name(algo)),
                      point.size_factor, result.trials.average(),
                      result.trials.stddev(), result.trials.worst_case(),
                      result.trials.p99()});

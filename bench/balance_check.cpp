@@ -9,9 +9,16 @@
 //
 // Run with --ci=16 (default) for the analysis constants, or --ci=1 to see
 // how the implementation configuration behaves against the same yardstick.
+// --structure= sweeps any registered Renamer under the *identical*
+// Schedule (the oblivious adversary commits one activation order per n,
+// replayed against every structure); batch-level metrics appear only for
+// structures that expose batch introspection.
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "api/registry.hpp"
+#include "bench_util/algos.hpp"
 #include "bench_util/options.hpp"
 #include "sim/executor.hpp"
 #include "sim/metrics.hpp"
@@ -25,6 +32,8 @@ void print_usage() {
       "  --n=256,512,1024     contention bounds to sweep\n"
       "  --rounds=64          Get/Free rounds per process\n"
       "  --ci=16              probes per batch (16 = analysis constants)\n"
+      "  --structure=level    structures to run under the same schedule\n"
+      "                       (any registered name/alias; 'all' = every)\n"
       "  --schedule=uniform   uniform | roundrobin | bursty | skewed\n"
       "  --sample-every=500   steps between balance samples\n"
       "  --seed=42            seed\n"
@@ -54,6 +63,8 @@ int main(int argc, char** argv) {
   const auto ns = opts.get_uint_list("n", {256, 512, 1024});
   const auto rounds = opts.get_uint("rounds", 64);
   const auto ci = opts.get_uint("ci", 16);
+  const auto structures =
+      bench::expand_algos(opts.get_string_list("structure", {"level"}));
   const auto schedule_kind = opts.get_string("schedule", "uniform");
   const auto sample_every = opts.get_uint("sample-every", 500);
   const auto seed = opts.get_uint("seed", 42);
@@ -61,50 +72,72 @@ int main(int argc, char** argv) {
   std::cout << "# Balance & regularity check: c_i = " << ci << ", schedule = "
             << schedule_kind << ", " << rounds << " rounds/process\n";
 
-  stats::Table summary({"n", "gets", "avg_trials", "worst", "loglog_budget",
-                        "balance_samples", "unbalanced_samples",
-                        "backup_gets"});
+  stats::Table summary({"structure", "n", "gets", "avg_trials", "worst",
+                        "loglog_budget", "balance_samples",
+                        "unbalanced_samples", "backup_gets"});
   stats::Table reach_table(
-      {"n", "batch", "reach_fraction", "pi_bound", "within_bound"}, 6);
+      {"structure", "n", "batch", "reach_fraction", "pi_bound",
+       "within_bound"}, 6);
 
   for (const auto n : ns) {
-    sim::ExecutorOptions options;
-    options.config.capacity = n;
-    options.config.probes_per_batch = {static_cast<std::uint8_t>(ci)};
-    options.seed = seed + n;
-    std::vector<sim::ProcessInput> inputs(
-        n, sim::ProcessInput::churn(rounds, 1));
-    // Budget: enough steps to drain all tapes even with c_i = 16.
+    // Budget: enough steps to drain all tapes even with c_i = 16. The
+    // adversary commits this one activation order, then every structure
+    // replays it.
     const std::size_t steps = static_cast<std::size_t>(n) * rounds * (4 + ci);
-    sim::Executor exec(options, std::move(inputs),
-                       make_schedule(schedule_kind,
-                                     static_cast<std::uint32_t>(n), steps,
-                                     seed));
-
-    std::uint64_t samples = 0, unbalanced = 0;
-    exec.set_step_observer(
-        [&](const sim::Executor& e) {
-          ++samples;
-          if (!e.balance().fully_balanced()) ++unbalanced;
-        },
-        sample_every);
-    exec.run();
-
+    const sim::Schedule schedule = make_schedule(
+        schedule_kind, static_cast<std::uint32_t>(n), steps, seed);
     const std::uint64_t budget = ci * (sim::loglog_batches(n) + 2);
-    summary.add_row({std::uint64_t{n}, exec.completed_gets(),
-                     exec.get_stats().average(),
-                     exec.get_stats().worst_case(), budget, samples,
-                     unbalanced, exec.backup_gets()});
 
-    const auto& reach = exec.reach_counts();
-    const double gets = static_cast<double>(exec.completed_gets());
-    const std::uint32_t tracked = sim::loglog_batches(n);
-    for (std::uint32_t k = 1; k <= tracked && k < reach.size(); ++k) {
-      const double fraction = static_cast<double>(reach[k]) / gets;
-      const double bound = sim::reach_probability_bound(k);
-      reach_table.add_row({std::uint64_t{n}, std::uint64_t{k}, fraction,
-                           bound,
-                           std::string(fraction <= bound ? "yes" : "NO")});
+    for (const auto& structure : structures) {
+      api::RenamerConfig config;
+      config.capacity = n;
+      config.probes_per_batch = {static_cast<std::uint8_t>(ci)};
+      const auto run_structure = [&](auto& array) {
+        using Array = std::decay_t<decltype(array)>;
+        std::vector<sim::ProcessInput> inputs(
+            n, sim::ProcessInput::churn(rounds, 1));
+        sim::BasicExecutor<Array> exec(array, seed + n, std::move(inputs),
+                                       schedule);
+
+        std::uint64_t samples = 0, unbalanced = 0;
+        if constexpr (api::has_batch_occupancy_v<Array>) {
+          exec.set_step_observer(
+              [&](const sim::BasicExecutor<Array>& e) {
+                ++samples;
+                if (!e.balance().fully_balanced()) ++unbalanced;
+              },
+              sample_every);
+        }
+        exec.run();
+
+        const std::string label(bench::algo_name(structure));
+        summary.add_row({label, std::uint64_t{n}, exec.completed_gets(),
+                         exec.get_stats().average(),
+                         exec.get_stats().worst_case(), budget, samples,
+                         unbalanced, exec.backup_gets()});
+
+        if constexpr (api::has_batch_occupancy_v<Array>) {
+          const auto& reach = exec.reach_counts();
+          const double gets = static_cast<double>(exec.completed_gets());
+          const std::uint32_t tracked = sim::loglog_batches(n);
+          for (std::uint32_t k = 1; k <= tracked && k < reach.size(); ++k) {
+            const double fraction = static_cast<double>(reach[k]) / gets;
+            const double bound = sim::reach_probability_bound(k);
+            reach_table.add_row({label, std::uint64_t{n}, std::uint64_t{k},
+                                 fraction, bound,
+                                 std::string(fraction <= bound ? "yes"
+                                                               : "NO")});
+          }
+        }
+      };
+      try {
+        api::visit(structure, config, run_structure);
+      } catch (const std::invalid_argument& e) {
+        // A structure may refuse this n (e.g. the splitter's
+        // quadratic-memory cap); keep the rest of the sweep's results.
+        std::cerr << "warning: skipping " << structure << ": " << e.what()
+                  << "\n";
+      }
     }
   }
 
@@ -115,7 +148,8 @@ int main(int argc, char** argv) {
   } else {
     summary.print(std::cout);
     std::cout << "\n# reach fractions vs Definition 1 bounds (c_i >= 16 "
-                 "required for the bound to apply)\n";
+                 "required for the bound to apply; batch-structured "
+                 "renamers only)\n";
     reach_table.print(std::cout);
   }
 

@@ -5,11 +5,13 @@
 // shines (LevelArray: losers re-randomize over a 3n/2-slot batch) or
 // collapses (LinearProbing: losers pile onto the same cluster).
 //
-// Reports per-round worst-case probes aggregated over many rounds, per
-// algorithm.
+// Reports per-round worst-case probes aggregated over many rounds, for
+// any registered structure (--algo=all runs the full registry).
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "api/registry.hpp"
 #include "bench_util/algos.hpp"
 #include "bench_util/options.hpp"
 #include "stats/summary.hpp"
@@ -28,18 +30,16 @@ void print_usage() {
       "  --rounds=2000        bursts\n"
       "  --holds=8            names each thread grabs per burst\n"
       "  --size-factor=2.0    L = size-factor * (threads * holds)\n"
-      "  --algo=level,random,linear\n"
+      "  --algo=level,random,linear ('all' = every registered structure)\n"
       "  --seed=42\n"
       "  --csv\n";
 }
 
-template <typename MakeArray>
-void run_burst(const std::string& label, MakeArray&& make_array,
-               std::uint32_t threads, std::uint32_t rounds,
-               std::uint32_t holds, la::stats::Table& table,
-               std::uint64_t seed) {
+template <typename Array>
+void run_burst(const std::string& label, Array& array, std::uint32_t threads,
+               std::uint32_t rounds, std::uint32_t holds,
+               la::stats::Table& table, std::uint64_t seed) {
   using namespace la;
-  auto array = make_array();
   sync::SpinBarrier barrier(threads);
   std::vector<sync::CachePadded<stats::TrialStats>> per_thread(threads);
   // Worst case within each round, merged across rounds.
@@ -57,12 +57,12 @@ void run_burst(const std::string& label, MakeArray&& make_array,
         std::vector<std::uint64_t> names;
         names.reserve(holds);
         for (std::uint32_t i = 0; i < holds; ++i) {
-          const auto r = array->get(rng);
+          const auto r = array.get(rng);
           names.push_back(r.name);
           per_thread[tid]->record(r.probes);
           worst = std::max<std::uint64_t>(worst, r.probes);
         }
-        for (const auto name : names) array->free(name);
+        for (const auto name : names) array.free(name);
         *this_round_worst[tid] = worst;
       });
     }
@@ -94,59 +94,30 @@ int main(int argc, char** argv) {
   const auto rounds = static_cast<std::uint32_t>(opts.get_uint("rounds", 2000));
   const auto holds = static_cast<std::uint32_t>(opts.get_uint("holds", 8));
   const double size_factor = opts.get_double("size-factor", 2.0);
-  const auto algos = opts.get_string_list("algo", {"level", "random", "linear"});
+  const auto algos = bench::expand_algos(
+      opts.get_string_list("algo", {"level", "random", "linear"}));
   const auto seed = opts.get_uint("seed", 42);
 
-  const std::uint64_t capacity = static_cast<std::uint64_t>(threads) * holds;
-  const auto total_slots =
-      static_cast<std::uint64_t>(size_factor * static_cast<double>(capacity));
+  api::RenamerConfig config;
+  config.capacity = static_cast<std::uint64_t>(threads) * holds;
+  config.size_factor = size_factor;
 
   std::cout << "# Burst contention: " << threads << " threads x " << holds
             << " names per burst, " << rounds << " bursts, L = "
-            << total_slots << "\n";
+            << config.total_slots() << "\n";
 
   stats::Table table({"algo", "gets", "avg_trials", "stddev",
                       "mean_round_worst", "max_round_worst", "p99"});
-  for (const auto& algo_str : algos) {
-    switch (bench::parse_algo(algo_str)) {
-      case bench::AlgoKind::kLevelArray:
-        run_burst(
-            "LevelArray",
-            [&] {
-              core::LevelArrayConfig config;
-              config.capacity = capacity;
-              config.size_multiplier = size_factor;
-              return std::make_unique<core::LevelArray>(config);
-            },
-            threads, rounds, holds, table, seed);
-        break;
-      case bench::AlgoKind::kRandom:
-        run_burst(
-            "Random",
-            [&] {
-              return std::make_unique<arrays::RandomArray>(total_slots,
-                                                           capacity);
-            },
-            threads, rounds, holds, table, seed);
-        break;
-      case bench::AlgoKind::kLinearProbing:
-        run_burst(
-            "LinearProbing",
-            [&] {
-              return std::make_unique<arrays::LinearProbingArray>(total_slots,
-                                                                  capacity);
-            },
-            threads, rounds, holds, table, seed);
-        break;
-      case bench::AlgoKind::kSequentialScan:
-        run_burst(
-            "SequentialScan",
-            [&] {
-              return std::make_unique<arrays::SequentialScanArray>(total_slots,
-                                                                   capacity);
-            },
-            threads, rounds, holds, table, seed);
-        break;
+  for (const auto& algo : algos) {
+    try {
+      api::visit(algo, config, [&](auto& array) {
+        run_burst(std::string(bench::algo_name(algo)), array, threads, rounds,
+                  holds, table, seed);
+      });
+    } catch (const std::invalid_argument& e) {
+      // A structure may refuse a sweep point (e.g. the splitter's
+      // quadratic-memory cap); keep the rest of the sweep's results.
+      std::cerr << "warning: skipping " << algo << ": " << e.what() << "\n";
     }
   }
   if (opts.has("csv")) {

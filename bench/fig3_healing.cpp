@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "api/renamer.hpp"
 #include "bench_util/options.hpp"
 #include "core/level_array.hpp"
 #include "rng/rng.hpp"
@@ -29,6 +30,7 @@ void print_usage() {
       "  --b0-fill=0.25         initial fill of batch 0 (paper: 1/4)\n"
       "  --b1-fill=0.5          initial fill of batch 1 (paper: 1/2)\n"
       "  --batches=7            batches to display (paper plots 7)\n"
+      "  --rng=marsaglia        probe RNG (marsaglia | lehmer | pcg32)\n"
       "  --seed=42              RNG seed\n"
       "  --csv                  emit CSV\n";
 }
@@ -48,6 +50,8 @@ int main(int argc, char** argv) {
   const auto snapshot_every = opts.get_uint("snapshot-every", 4000);
   const double b0_fill = opts.get_double("b0-fill", 0.25);
   const double b1_fill = opts.get_double("b1-fill", 0.5);
+  const auto rng_kind =
+      rng::parse_rng_kind(opts.get_string("rng", "marsaglia"));
   const auto seed = opts.get_uint("seed", 42);
 
   core::LevelArrayConfig config;
@@ -87,9 +91,6 @@ int main(int argc, char** argv) {
   }
   stats::Table table(std::move(headers), 1);
 
-  rng::MarsagliaXorshift rng(seed);
-  // The churn schedule needs at least one held name to recycle.
-  if (pool.empty()) pool.push_back(array.get(rng).name);
   const auto emit_row = [&](std::uint64_t state, std::uint64_t ops_done) {
     const auto occupancy = array.batch_occupancy();
     const auto report = sim::evaluate_balance(occupancy, capacity);
@@ -103,16 +104,21 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   };
 
-  emit_row(0, 0);
-  for (std::uint64_t state = 1; state < snapshots; ++state) {
-    for (std::uint64_t op = 0; op < snapshot_every; ++op) {
-      // Typical schedule: release a random held slot, register anew.
-      const std::size_t victim = rng::bounded(rng, pool.size());
-      array.free(pool[victim]);
-      pool[victim] = array.get(rng).name;
+  api::with_rng(rng_kind, [&](auto tag) {
+    typename decltype(tag)::type rng(seed);
+    // The churn schedule needs at least one held name to recycle.
+    if (pool.empty()) pool.push_back(array.get(rng).name);
+    emit_row(0, 0);
+    for (std::uint64_t state = 1; state < snapshots; ++state) {
+      for (std::uint64_t op = 0; op < snapshot_every; ++op) {
+        // Typical schedule: release a random held slot, register anew.
+        const std::size_t victim = rng::bounded(rng, pool.size());
+        array.free(pool[victim]);
+        pool[victim] = array.get(rng).name;
+      }
+      emit_row(state, state * snapshot_every);
     }
-    emit_row(state, state * snapshot_every);
-  }
+  });
 
   if (opts.has("csv")) {
     table.print_csv(std::cout);

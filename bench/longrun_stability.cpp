@@ -25,6 +25,7 @@ void print_usage() {
       "  --checkpoints=10    progress rows to print\n"
       "  --mult=1000         emulated registrants per thread\n"
       "  --prefill=0.5       pre-fill fraction\n"
+      "  --rng=marsaglia     probe RNG (marsaglia | lehmer | pcg32)\n"
       "  --seed=42           base RNG seed\n"
       "  --csv               emit CSV\n";
 }
@@ -44,6 +45,8 @@ int main(int argc, char** argv) {
   const auto checkpoints = std::max<std::uint64_t>(opts.get_uint("checkpoints", 10), 1);
   const auto mult = opts.get_uint("mult", 1000);
   const double prefill = opts.get_double("prefill", 0.5);
+  const auto rng_kind =
+      rng::parse_rng_kind(opts.get_string("rng", "marsaglia"));
   const auto seed = opts.get_uint("seed", 42);
 
   std::cout << "# Long-run stability: LevelArray, " << threads << " threads, "
@@ -74,6 +77,7 @@ int main(int argc, char** argv) {
         std::max<std::uint64_t>(ops_per_checkpoint / threads, 2);
     driver.seconds = 0;
     driver.seed = seed + cp;  // fresh probe streams each chunk
+    driver.rng_kind = rng_kind;
     const auto result = bench::run_churn(array, driver);
     cumulative.merge(result.trials);
     ops_done += result.total_ops;

@@ -62,13 +62,13 @@ int main(int argc, char** argv) {
     std::uint64_t worst = 0;
     std::uint64_t backup = 0;
     for (std::uint64_t trial = 0; trial < trials; ++trial) {
-      sim::ExecutorOptions options;
-      options.config.capacity = n;
-      options.config.probes_per_batch = {static_cast<std::uint8_t>(ci)};
-      options.seed = seed + trial * 1000003 + n;
+      core::LevelArrayConfig config;
+      config.capacity = n;
+      config.probes_per_batch = {static_cast<std::uint8_t>(ci)};
+      core::LevelArray array(config);
       std::vector<sim::ProcessInput> inputs(n, sim::ProcessInput::one_shot());
       sim::Executor exec(
-          options, std::move(inputs),
+          array, seed + trial * 1000003 + n, std::move(inputs),
           sim::Schedule::uniform_random(static_cast<std::uint32_t>(n),
                                         static_cast<std::size_t>(n) * 64 *
                                             std::max<std::size_t>(ci, 1),

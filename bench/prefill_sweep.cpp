@@ -18,7 +18,7 @@ void print_usage() {
       "  --ops=40000         ops per thread per point\n"
       "  --mult=1000         emulated registrants per thread\n"
       "  --prefills=0,25,50,75,90   pre-fill percentages\n"
-      "  --algo=level,random,linear algorithms\n"
+      "  --algo=level,random,linear structures ('all' = every registered)\n"
       "  --size-factor=2.0   L = size-factor * N\n"
       "  --seed=42           base RNG seed\n"
       "  --csv               emit CSV\n";
@@ -38,7 +38,8 @@ int main(int argc, char** argv) {
   const auto ops = opts.get_uint("ops", 40000);
   const auto mult = opts.get_uint("mult", 1000);
   const auto prefills = opts.get_uint_list("prefills", {0, 25, 50, 75, 90});
-  const auto algos = opts.get_string_list("algo", {"level", "random", "linear"});
+  const auto algos = bench::expand_algos(
+      opts.get_string_list("algo", {"level", "random", "linear"}));
   const double size_factor = opts.get_double("size-factor", 2.0);
   const auto seed = opts.get_uint("seed", 42);
 
@@ -47,8 +48,7 @@ int main(int argc, char** argv) {
 
   stats::Table table({"algo", "prefill_%", "avg_trials", "stddev",
                       "worst_global", "p99"});
-  for (const auto& algo_str : algos) {
-    const auto kind = bench::parse_algo(algo_str);
+  for (const auto& algo : algos) {
     for (const auto prefill_pct : prefills) {
       bench::SweepPoint point;
       point.driver.threads = threads;
@@ -57,8 +57,16 @@ int main(int argc, char** argv) {
       point.driver.ops_per_thread = ops;
       point.driver.seed = seed;
       point.size_factor = size_factor;
-      const auto result = bench::run_algo(kind, point);
-      table.add_row({std::string(bench::algo_name(kind)),
+      bench::RunResult result;
+      try {
+        result = bench::run_algo(algo, point);
+      } catch (const std::invalid_argument& e) {
+        // A structure may refuse a sweep point (e.g. the splitter's
+        // quadratic-memory cap); keep the rest of the sweep's results.
+        std::cerr << "warning: skipping " << algo << ": " << e.what() << "\n";
+        continue;
+      }
+      table.add_row({std::string(bench::algo_name(algo)),
                      std::uint64_t{prefill_pct}, result.trials.average(),
                      result.trials.stddev(), result.trials.worst_case(),
                      result.trials.p99()});

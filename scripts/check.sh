@@ -12,6 +12,9 @@ cmake -B build -S .
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
+echo "== renamer API conformance (every registered structure) =="
+./build/test_renamer_contract
+
 echo "== ASan/UBSan preset =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

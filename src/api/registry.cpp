@@ -1,0 +1,72 @@
+#include "api/registry.hpp"
+
+#include <utility>
+
+namespace la::api {
+namespace {
+
+template <typename Entry>
+StructureInfo info_for() {
+  return StructureInfo{Entry::kName, Entry::kLabel,
+                       std::vector<std::string_view>(Entry::kAliases.begin(),
+                                                     Entry::kAliases.end()),
+                       Entry::kSummary};
+}
+
+template <std::size_t... Is>
+std::vector<StructureInfo> build_infos(std::index_sequence<Is...>) {
+  return {info_for<std::tuple_element_t<Is, detail::Entries>>()...};
+}
+
+}  // namespace
+
+const std::vector<StructureInfo>& registered_structures() {
+  static const std::vector<StructureInfo> infos =
+      build_infos(std::make_index_sequence<detail::kEntryCount>{});
+  return infos;
+}
+
+std::vector<std::string> registered_names() {
+  std::vector<std::string> names;
+  names.reserve(registered_structures().size());
+  for (const auto& info : registered_structures()) {
+    names.emplace_back(info.name);
+  }
+  return names;
+}
+
+std::string accepted_names_text() {
+  std::string text;
+  for (const auto& info : registered_structures()) {
+    if (!text.empty()) text += "|";
+    text += info.name;
+  }
+  text += "; aliases:";
+  for (const auto& info : registered_structures()) {
+    for (const auto alias : info.aliases) {
+      text += " ";
+      text += alias;
+    }
+  }
+  return text;
+}
+
+std::string resolve_structure(const std::string& name_or_alias) {
+  for (const auto& info : registered_structures()) {
+    if (name_or_alias == info.name) return std::string(info.name);
+    for (const auto alias : info.aliases) {
+      if (name_or_alias == alias) return std::string(info.name);
+    }
+  }
+  throw std::invalid_argument("unknown structure: " + name_or_alias +
+                              " (expected " + accepted_names_text() + ")");
+}
+
+std::string_view structure_label(std::string_view canonical) {
+  for (const auto& info : registered_structures()) {
+    if (canonical == info.name) return info.label;
+  }
+  return "?";
+}
+
+}  // namespace la::api

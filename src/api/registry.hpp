@@ -1,0 +1,207 @@
+// String-keyed registry of every renaming structure in the library, and
+// the visit() dispatcher that instantiates the concrete type and invokes
+// a generic callable on it.
+//
+// Each entry is a small factory struct: a canonical name, display label,
+// aliases, a one-line summary, and with(config, fn) which constructs the
+// structure on the stack and calls fn(structure&). visit() resolves a
+// name-or-alias and walks the compile-time entry list — so dispatch costs
+// one string compare per entry, after which the callable is instantiated
+// against the concrete type and the inner loop is fully monomorphic (no
+// virtual calls, same codegen as naming the type directly). Adding a
+// structure = one entry struct + one line in the Entries tuple; the
+// runtime metadata (registered_structures, accepted-name lists, error
+// messages) is generated from the same tuple, so it cannot drift.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+#include "api/renamer.hpp"
+#include "api/splitter_renamer.hpp"
+#include "arrays/bitmap_array.hpp"
+#include "arrays/id_array.hpp"
+#include "arrays/linear_probing_array.hpp"
+#include "arrays/random_array.hpp"
+#include "arrays/sequential_scan_array.hpp"
+#include "core/level_array.hpp"
+
+namespace la::api {
+
+struct StructureInfo {
+  std::string_view name;   // canonical registry key (what visit() resolves to)
+  std::string_view label;  // display label for tables
+  std::vector<std::string_view> aliases;
+  std::string_view summary;
+};
+
+// Runtime metadata, generated from the Entries tuple below.
+const std::vector<StructureInfo>& registered_structures();
+std::vector<std::string> registered_names();
+// Canonical key for a name or alias; throws std::invalid_argument listing
+// every accepted spelling.
+std::string resolve_structure(const std::string& name_or_alias);
+std::string_view structure_label(std::string_view canonical);
+std::string accepted_names_text();
+
+namespace detail {
+
+struct LevelEntry {
+  static constexpr std::string_view kName = "level";
+  static constexpr std::string_view kLabel = "LevelArray";
+  static constexpr std::array<std::string_view, 1> kAliases = {"levelarray"};
+  static constexpr std::string_view kSummary =
+      "the paper's algorithm: doubly-exponential batches over L = 2n TAS "
+      "slots";
+  template <typename Fn>
+  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
+    core::LevelArrayConfig config;
+    config.capacity = c.capacity;
+    config.size_multiplier = c.size_factor;
+    if (!c.probes_per_batch.empty()) {
+      config.probes_per_batch = c.probes_per_batch;
+    }
+    core::LevelArray array(config);
+    return fn(array);
+  }
+};
+
+struct RandomEntry {
+  static constexpr std::string_view kName = "random";
+  static constexpr std::string_view kLabel = "Random";
+  static constexpr std::array<std::string_view, 1> kAliases = {"randomarray"};
+  static constexpr std::string_view kSummary =
+      "uniform random probes over the whole array (comparison #1)";
+  template <typename Fn>
+  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
+    arrays::RandomArray array(c.total_slots(), c.capacity);
+    return fn(array);
+  }
+};
+
+struct LinearEntry {
+  static constexpr std::string_view kName = "linear";
+  static constexpr std::string_view kLabel = "LinearProbing";
+  static constexpr std::array<std::string_view, 1> kAliases =
+      {"linearprobing"};
+  static constexpr std::string_view kSummary =
+      "random start then sequential scan (comparison #2)";
+  template <typename Fn>
+  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
+    arrays::LinearProbingArray array(c.total_slots(), c.capacity);
+    return fn(array);
+  }
+};
+
+struct SequentialEntry {
+  static constexpr std::string_view kName = "seq";
+  static constexpr std::string_view kLabel = "SequentialScan";
+  static constexpr std::array<std::string_view, 2> kAliases =
+      {"sequential", "sequentialscan"};
+  static constexpr std::string_view kSummary =
+      "deterministic first-fit scan from slot 0 (strawman)";
+  template <typename Fn>
+  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
+    arrays::SequentialScanArray array(c.total_slots(), c.capacity);
+    return fn(array);
+  }
+};
+
+struct BitmapEntry {
+  static constexpr std::string_view kName = "bitmap";
+  static constexpr std::string_view kLabel = "BitmapActivity";
+  static constexpr std::array<std::string_view, 2> kAliases =
+      {"bitmaparray", "bit"};
+  static constexpr std::string_view kSummary =
+      "bit-per-slot layout ablation: random probing over packed words";
+  template <typename Fn>
+  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
+    arrays::BitmapActivityArray array(c.total_slots(), c.capacity);
+    return fn(array);
+  }
+};
+
+struct IdEntry {
+  static constexpr std::string_view kName = "id";
+  static constexpr std::string_view kLabel = "IdIndexed";
+  static constexpr std::array<std::string_view, 2> kAliases =
+      {"idindexed", "idarray"};
+  static constexpr std::string_view kSummary =
+      "footnote-1 strawman: array indexed by id, sized by the id space N";
+  template <typename Fn>
+  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
+    arrays::IdIndexedArray array(c.id_space(), c.capacity);
+    return fn(array);
+  }
+};
+
+struct SplitterEntry {
+  static constexpr std::string_view kName = "splitter";
+  static constexpr std::string_view kLabel = "SplitterGrid";
+  static constexpr std::array<std::string_view, 3> kAliases =
+      {"ma", "moir-anderson", "splittergrid"};
+  static constexpr std::string_view kSummary =
+      "deterministic Moir-Anderson splitter grid behind the long-lived "
+      "recycling facade";
+  template <typename Fn>
+  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
+    SplitterRenamer array(c.capacity);
+    return fn(array);
+  }
+};
+
+using Entries = std::tuple<LevelEntry, RandomEntry, LinearEntry,
+                           SequentialEntry, BitmapEntry, IdEntry,
+                           SplitterEntry>;
+
+inline constexpr std::size_t kEntryCount = std::tuple_size_v<Entries>;
+
+// Every registered structure must satisfy the static Renamer contract.
+static_assert(is_renamer_v<core::LevelArray>);
+static_assert(is_renamer_v<arrays::RandomArray>);
+static_assert(is_renamer_v<arrays::LinearProbingArray>);
+static_assert(is_renamer_v<arrays::SequentialScanArray>);
+static_assert(is_renamer_v<arrays::BitmapActivityArray>);
+static_assert(is_renamer_v<arrays::IdIndexedArray>);
+static_assert(is_renamer_v<SplitterRenamer>);
+
+// The callable's result type must not depend on the structure; anchor the
+// deduction on the first entry's type.
+template <typename Fn>
+using VisitResult = std::invoke_result_t<Fn&, core::LevelArray&>;
+
+template <std::size_t I, typename Fn>
+VisitResult<Fn> visit_at(std::string_view canonical, const RenamerConfig& cfg,
+                         Fn&& fn) {
+  if constexpr (I < kEntryCount) {
+    using Entry = std::tuple_element_t<I, Entries>;
+    if (canonical == Entry::kName) {
+      return Entry::with(cfg, std::forward<Fn>(fn));
+    }
+    return visit_at<I + 1>(canonical, cfg, std::forward<Fn>(fn));
+  } else {
+    throw std::invalid_argument("unknown structure: " +
+                                std::string(canonical) + " (expected " +
+                                accepted_names_text() + ")");
+  }
+}
+
+}  // namespace detail
+
+// Instantiate the structure registered under `name_or_alias` from `cfg`
+// and invoke fn(structure&), returning fn's result. The structure lives
+// on the stack for the duration of the call.
+template <typename Fn>
+detail::VisitResult<Fn> visit(const std::string& name_or_alias,
+                              const RenamerConfig& cfg, Fn&& fn) {
+  return detail::visit_at<0>(resolve_structure(name_or_alias), cfg,
+                             std::forward<Fn>(fn));
+}
+
+}  // namespace la::api

@@ -1,0 +1,122 @@
+// The unified Renamer API: the static-interface contract every renaming
+// structure in this library conforms to, the RenamerConfig all factories
+// construct from, and the RNG-kind dispatcher.
+//
+// A Renamer is any type providing
+//
+//   GetResult    get(Rng&)                       (templated over Rng)
+//   void         free(std::uint64_t name)        (throws std::out_of_range
+//                                                 on bad names and
+//                                                 std::logic_error on
+//                                                 double-free)
+//   std::size_t  collect(std::vector<std::uint64_t>&) const
+//   std::uint64_t capacity() const               (contention bound n)
+//   std::uint64_t total_slots() const            (names are < total_slots)
+//
+// The contract is *static* — checked with the detection idiom below and
+// enforced by the registry — so the bench drivers' inner loops stay fully
+// templated with zero virtual calls. Structures may additionally expose a
+// batch-occupancy introspection surface (batch_occupancy()); harnesses
+// detect it via has_batch_occupancy_v and enable the paper's balance
+// metrics only where it exists.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+#include "core/types.hpp"
+#include "rng/rng.hpp"
+
+namespace la::api {
+
+// One configuration for every registered structure. Factories pick the
+// knobs that apply to them and ignore the rest.
+struct RenamerConfig {
+  // Contention bound n: maximum number of concurrently held names.
+  std::uint64_t capacity = 1024;
+  // L = size_factor * capacity for the array-shaped structures
+  // (paper: 2.0; §6 sweeps 2N..4N).
+  double size_factor = 2.0;
+  // LevelArray only: c_i probes per batch. Empty = structure default.
+  std::vector<std::uint8_t> probes_per_batch;
+  // Which probe RNG the driver should instantiate (carried alongside the
+  // structural knobs so one config describes a full run point).
+  rng::RngKind rng_kind = rng::RngKind::kMarsaglia;
+  // IdIndexedArray only: the id space is id_space_factor * capacity —
+  // deliberately larger than L, which is footnote 1's trade (trivial Get,
+  // Theta(N) Collect and memory).
+  double id_space_factor = 16.0;
+
+  std::uint64_t total_slots() const {
+    const auto slots = static_cast<std::uint64_t>(
+        size_factor * static_cast<double>(capacity));
+    return slots < 2 ? 2 : slots;
+  }
+
+  std::uint64_t id_space() const {
+    const auto space = static_cast<std::uint64_t>(
+        id_space_factor * static_cast<double>(capacity));
+    return space < total_slots() ? total_slots() : space;
+  }
+};
+
+// --- contract detection -------------------------------------------------
+
+template <typename T, typename = void>
+struct is_renamer : std::false_type {};
+
+template <typename T>
+struct is_renamer<
+    T, std::void_t<
+           decltype(std::declval<T&>().get(
+               std::declval<rng::MarsagliaXorshift&>())),
+           decltype(std::declval<T&>().free(std::uint64_t{})),
+           decltype(std::declval<const T&>().collect(
+               std::declval<std::vector<std::uint64_t>&>())),
+           decltype(std::declval<const T&>().capacity()),
+           decltype(std::declval<const T&>().total_slots())>>
+    : std::is_same<decltype(std::declval<T&>().get(
+                       std::declval<rng::MarsagliaXorshift&>())),
+                   GetResult> {};
+
+template <typename T>
+inline constexpr bool is_renamer_v = is_renamer<T>::value;
+
+// Optional introspection surface: per-batch occupancy counts, used by the
+// sim harness for the paper's Definition 2 balance metrics.
+template <typename T, typename = void>
+struct has_batch_occupancy : std::false_type {};
+
+template <typename T>
+struct has_batch_occupancy<
+    T, std::void_t<decltype(std::declval<const T&>().batch_occupancy())>>
+    : std::true_type {};
+
+template <typename T>
+inline constexpr bool has_batch_occupancy_v = has_batch_occupancy<T>::value;
+
+// --- RNG dispatch -------------------------------------------------------
+
+// Type tag handed to the callable so it can name the generator type
+// without constructing one (seeding stays with the caller).
+template <typename T>
+struct RngTag {
+  using type = T;
+};
+
+// The one place an RngKind becomes a concrete generator type. fn receives
+// RngTag<Generator> and is instantiated per generator — the inner loops
+// stay monomorphic.
+template <typename Fn>
+decltype(auto) with_rng(rng::RngKind kind, Fn&& fn) {
+  switch (kind) {
+    case rng::RngKind::kMarsaglia: return fn(RngTag<rng::MarsagliaXorshift>{});
+    case rng::RngKind::kLehmer: return fn(RngTag<rng::Lehmer>{});
+    case rng::RngKind::kPcg32: return fn(RngTag<rng::Pcg32>{});
+  }
+  throw std::logic_error("unhandled RngKind");
+}
+
+}  // namespace la::api

@@ -46,7 +46,12 @@ class BitmapActivityArray {
       throw std::out_of_range("BitmapActivityArray::free: name out of range");
     }
     const std::uint64_t mask = std::uint64_t{1} << (name & 63);
-    words_[name >> 6].fetch_and(~mask, std::memory_order_release);
+    const std::uint64_t prev =
+        words_[name >> 6].fetch_and(~mask, std::memory_order_release);
+    if ((prev & mask) == 0) {
+      throw std::logic_error(
+          "BitmapActivityArray::free: slot not held (double free?)");
+    }
   }
 
   std::size_t collect(std::vector<std::uint64_t>& out) const {

@@ -10,14 +10,19 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "rng/rng.hpp"
 #include "sync/tas_cell.hpp"
 
 namespace la::arrays {
 
 class IdIndexedArray {
  public:
-  explicit IdIndexedArray(std::uint64_t id_space)
-      : cells_(id_space < 1 ? 1 : id_space) {}
+  // `capacity` is the contention bound the harnesses drive against; it is
+  // advisory (the id space is the real limit) and defaults to the id
+  // space itself.
+  explicit IdIndexedArray(std::uint64_t id_space, std::uint64_t capacity = 0)
+      : cells_(id_space < 1 ? 1 : id_space),
+        capacity_(capacity == 0 ? cells_.size() : capacity) {}
 
   IdIndexedArray(const IdIndexedArray&) = delete;
   IdIndexedArray& operator=(const IdIndexedArray&) = delete;
@@ -35,9 +40,31 @@ class IdIndexedArray {
     return result;
   }
 
+  // Renamer-shaped Get for the generic harnesses: an anonymous arrival
+  // draws random ids until one is unclaimed. With the id space sized well
+  // above the contention bound (footnote 1's regime) this is ~1 probe —
+  // the trade the structure embodies is cheap Get against Theta(N)
+  // Collect and memory.
+  template <typename Rng>
+  GetResult get(Rng& rng) {
+    GetResult result;
+    for (;;) {
+      const std::uint64_t id = rng::bounded(rng, cells_.size());
+      ++result.probes;
+      if (cells_[id].try_acquire()) {
+        result.name = id;
+        return result;
+      }
+    }
+  }
+
   void free(std::uint64_t name) {
     if (name >= cells_.size()) {
       throw std::out_of_range("IdIndexedArray::free: name out of range");
+    }
+    if (!cells_[name].held()) {
+      throw std::logic_error(
+          "IdIndexedArray::free: id not registered (double free?)");
     }
     cells_[name].release();
   }
@@ -55,9 +82,11 @@ class IdIndexedArray {
   }
 
   std::uint64_t total_slots() const { return cells_.size(); }
+  std::uint64_t capacity() const { return capacity_; }
 
  private:
   std::vector<sync::TasCell> cells_;
+  std::uint64_t capacity_;
 };
 
 }  // namespace la::arrays

@@ -45,6 +45,10 @@ class LinearProbingArray {
     if (name >= slots_.size()) {
       throw std::out_of_range("LinearProbingArray::free: name out of range");
     }
+    if (!slots_[name].held()) {
+      throw std::logic_error(
+          "LinearProbingArray::free: slot not held (double free?)");
+    }
     slots_[name].release();
   }
 

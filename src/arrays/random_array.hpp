@@ -39,6 +39,10 @@ class RandomArray {
     if (name >= slots_.size()) {
       throw std::out_of_range("RandomArray::free: name out of range");
     }
+    if (!slots_[name].held()) {
+      throw std::logic_error(
+          "RandomArray::free: slot not held (double free?)");
+    }
     slots_[name].release();
   }
 

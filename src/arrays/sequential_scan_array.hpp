@@ -42,6 +42,10 @@ class SequentialScanArray {
     if (name >= slots_.size()) {
       throw std::out_of_range("SequentialScanArray::free: name out of range");
     }
+    if (!slots_[name].held()) {
+      throw std::logic_error(
+          "SequentialScanArray::free: slot not held (double free?)");
+    }
     slots_[name].release();
   }
 

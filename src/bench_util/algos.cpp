@@ -1,7 +1,6 @@
 #include "bench_util/algos.hpp"
 
-#include <stdexcept>
-
+#include "api/registry.hpp"
 #include "bench_util/timing.hpp"
 #include "stats/welford.hpp"
 #include "sync/cache.hpp"
@@ -109,77 +108,62 @@ RunResult drive(Array& array, const DriverConfig& d) {
 }
 
 template <typename Array>
-RunResult drive_with_rng(Array& array, const DriverConfig& d,
-                         rng::RngKind kind) {
-  switch (kind) {
-    case rng::RngKind::kMarsaglia:
-      return drive<Array, rng::MarsagliaXorshift>(array, d);
-    case rng::RngKind::kLehmer:
-      return drive<Array, rng::Lehmer>(array, d);
-    case rng::RngKind::kPcg32:
-      return drive<Array, rng::Pcg32>(array, d);
-  }
-  throw std::logic_error("unhandled RngKind");
+RunResult drive_with_rng(Array& array, const DriverConfig& d) {
+  return api::with_rng(d.rng_kind, [&](auto tag) {
+    using Rng = typename decltype(tag)::type;
+    return drive<Array, Rng>(array, d);
+  });
 }
 
 }  // namespace
 
-AlgoKind parse_algo(const std::string& name) {
-  if (name == "level" || name == "levelarray") return AlgoKind::kLevelArray;
-  if (name == "random") return AlgoKind::kRandom;
-  if (name == "linear" || name == "linearprobing") {
-    return AlgoKind::kLinearProbing;
-  }
-  if (name == "seq" || name == "sequential") return AlgoKind::kSequentialScan;
-  throw std::invalid_argument("unknown algorithm: " + name +
-                              " (expected level|random|linear|seq)");
+std::string parse_algo(const std::string& name) {
+  return api::resolve_structure(name);
 }
 
-std::string_view algo_name(AlgoKind kind) {
-  switch (kind) {
-    case AlgoKind::kLevelArray: return "LevelArray";
-    case AlgoKind::kRandom: return "Random";
-    case AlgoKind::kLinearProbing: return "LinearProbing";
-    case AlgoKind::kSequentialScan: return "SequentialScan";
-  }
-  return "?";
+std::string_view algo_name(const std::string& canonical) {
+  return api::structure_label(canonical);
 }
 
-RunResult run_algo(AlgoKind kind, const SweepPoint& point) {
-  const DriverConfig& d = point.driver;
-  const std::uint64_t n = d.emulated_registrants();
-  const auto total_slots = static_cast<std::uint64_t>(
-      point.size_factor * static_cast<double>(n));
-
-  switch (kind) {
-    case AlgoKind::kLevelArray: {
-      core::LevelArrayConfig config;
-      config.capacity = n;
-      config.size_multiplier = point.size_factor;
-      if (!point.probes_per_batch.empty()) {
-        config.probes_per_batch = point.probes_per_batch;
+std::vector<std::string> expand_algos(const std::vector<std::string>& names) {
+  std::vector<std::string> out;
+  const auto add = [&out](std::string canonical) {
+    // First mention wins: "all,level" or "level,levelarray" runs (and
+    // prints) each structure once.
+    for (const auto& existing : out) {
+      if (existing == canonical) return;
+    }
+    out.push_back(std::move(canonical));
+  };
+  for (const auto& name : names) {
+    if (name == "all") {
+      for (auto& registered : api::registered_names()) {
+        add(std::move(registered));
       }
-      core::LevelArray array(config);
-      return drive_with_rng(array, d, point.rng_kind);
-    }
-    case AlgoKind::kRandom: {
-      arrays::RandomArray array(total_slots, n);
-      return drive_with_rng(array, d, point.rng_kind);
-    }
-    case AlgoKind::kLinearProbing: {
-      arrays::LinearProbingArray array(total_slots, n);
-      return drive_with_rng(array, d, point.rng_kind);
-    }
-    case AlgoKind::kSequentialScan: {
-      arrays::SequentialScanArray array(total_slots, n);
-      return drive_with_rng(array, d, point.rng_kind);
+    } else {
+      add(api::resolve_structure(name));
     }
   }
-  throw std::logic_error("unhandled AlgoKind");
+  return out;
+}
+
+api::RenamerConfig renamer_config(const SweepPoint& point) {
+  api::RenamerConfig config;
+  config.capacity = point.driver.emulated_registrants();
+  config.size_factor = point.size_factor;
+  config.probes_per_batch = point.probes_per_batch;
+  config.rng_kind = point.driver.rng_kind;
+  return config;
+}
+
+RunResult run_algo(const std::string& name_or_alias, const SweepPoint& point) {
+  return api::visit(name_or_alias, renamer_config(point), [&](auto& array) {
+    return drive_with_rng(array, point.driver);
+  });
 }
 
 RunResult run_churn(core::LevelArray& array, const DriverConfig& driver) {
-  return drive<core::LevelArray, rng::MarsagliaXorshift>(array, driver);
+  return drive_with_rng(array, driver);
 }
 
 }  // namespace la::bench

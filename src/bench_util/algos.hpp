@@ -1,10 +1,14 @@
-// The real-thread churn driver behind the Figure 2 family of benches,
-// plus the algorithm registry. The workload follows the paper's §6
-// methodology: each of n threads emulates `mult` registrants (N = n*mult
-// total), the array holds L = size_factor * N slots, a prefill fraction
-// is registered up front, and the main loop is back-to-back Free+Get
-// churn — either for a fixed op count (reproducible trial metrics) or a
-// fixed wall-clock window (throughput).
+// The real-thread churn driver behind the Figure 2 family of benches.
+// The workload follows the paper's §6 methodology: each of n threads
+// emulates `mult` registrants (N = n*mult total), the array holds
+// L = size_factor * N slots, a prefill fraction is registered up front,
+// and the main loop is back-to-back Free+Get churn — either for a fixed
+// op count (reproducible trial metrics) or a fixed wall-clock window
+// (throughput).
+//
+// Structures are addressed by their api::registry name (or alias), so
+// every registered Renamer — not a hard-coded enum — can be driven, under
+// any of the registered probe RNGs.
 #pragma once
 
 #include <cstdint>
@@ -12,19 +16,12 @@
 #include <string_view>
 #include <vector>
 
-#include "arrays/linear_probing_array.hpp"
-#include "arrays/random_array.hpp"
-#include "arrays/sequential_scan_array.hpp"
+#include "api/renamer.hpp"
 #include "core/level_array.hpp"
 #include "rng/rng.hpp"
 #include "stats/summary.hpp"
 
 namespace la::bench {
-
-enum class AlgoKind { kLevelArray, kRandom, kLinearProbing, kSequentialScan };
-
-AlgoKind parse_algo(const std::string& name);
-std::string_view algo_name(AlgoKind kind);
 
 struct DriverConfig {
   std::uint32_t threads = 1;
@@ -36,6 +33,8 @@ struct DriverConfig {
   std::uint64_t ops_per_thread = 0;
   double seconds = 0.0;                       // window for timed mode
   std::uint64_t seed = 42;
+  // Probe RNG for the prefill and churn loops (paper §6 ablates this).
+  rng::RngKind rng_kind = rng::RngKind::kMarsaglia;
 
   std::uint64_t emulated_registrants() const {
     return static_cast<std::uint64_t>(threads) * emulation_multiplier;
@@ -46,7 +45,6 @@ struct SweepPoint {
   DriverConfig driver;
   double size_factor = 2.0;                    // L = size_factor * N
   std::vector<std::uint8_t> probes_per_batch;  // empty = LevelArray default
-  rng::RngKind rng_kind = rng::RngKind::kMarsaglia;
 };
 
 struct RunResult {
@@ -58,11 +56,28 @@ struct RunResult {
   std::uint64_t backup_gets = 0;
 };
 
-// Build the array described by (kind, point) and run the churn workload.
-RunResult run_algo(AlgoKind kind, const SweepPoint& point);
+// Canonical registry key for a structure name or alias; throws
+// std::invalid_argument listing every accepted spelling (registry-derived).
+std::string parse_algo(const std::string& name);
+
+// Display label for a canonical registry key.
+std::string_view algo_name(const std::string& canonical);
+
+// Resolve a --algo list: expands "all" to every registered structure and
+// canonicalizes names/aliases.
+std::vector<std::string> expand_algos(const std::vector<std::string>& names);
+
+// The api::RenamerConfig describing this sweep point (shared by benches
+// that call api::visit directly).
+api::RenamerConfig renamer_config(const SweepPoint& point);
+
+// Build the structure registered under `name_or_alias` from `point` and
+// run the churn workload under point.driver.rng_kind.
+RunResult run_algo(const std::string& name_or_alias, const SweepPoint& point);
 
 // Same workload against a caller-owned persistent LevelArray (longrun
-// accumulates worst-case stats across chunks this way). Marsaglia probes.
+// accumulates worst-case stats across chunks this way), honoring
+// driver.rng_kind.
 RunResult run_churn(core::LevelArray& array, const DriverConfig& driver);
 
 }  // namespace la::bench

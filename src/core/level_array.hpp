@@ -78,6 +78,12 @@ class LevelArray {
     if (name >= slots_.size()) {
       throw std::out_of_range("LevelArray::free: name out of range");
     }
+    // Only the holder may free, so this read is race-free; a clear slot
+    // here means a driver double-freed (or freed a name it never got) and
+    // would otherwise silently corrupt occupancy.
+    if (!slots_[name].held()) {
+      throw std::logic_error("LevelArray::free: slot not held (double free?)");
+    }
     slots_[name].release();
   }
 
@@ -96,6 +102,7 @@ class LevelArray {
   }
 
   std::uint64_t total_slots() const { return geometry_.total_slots(); }
+  std::uint64_t capacity() const { return config_.capacity; }
   const Geometry& geometry() const { return geometry_; }
   const LevelArrayConfig& config() const { return config_; }
 

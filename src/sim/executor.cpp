@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
-#include <string>
 
 namespace la::sim {
 
@@ -62,83 +60,6 @@ Schedule Schedule::skewed(std::uint32_t n, std::size_t steps, double exponent,
         static_cast<std::uint32_t>(it - cumulative.begin()));
   }
   return Schedule(std::move(order));
-}
-
-Executor::Executor(ExecutorOptions options, std::vector<ProcessInput> inputs,
-                   Schedule schedule)
-    : options_(std::move(options)),
-      array_(options_.config),
-      schedule_(std::move(schedule)),
-      reach_counts_(array_.geometry().num_batches(), 0) {
-  // A Get on a full array spins forever in this single-threaded
-  // simulation (nobody else can free), so reject inputs whose worst-case
-  // concurrent demand exceeds the slot count up front.
-  std::uint64_t peak_demand = 0;
-  for (const auto& input : inputs) peak_demand += input.holds();
-  if (peak_demand > array_.total_slots()) {
-    throw std::invalid_argument(
-        "Executor: aggregate holds (" + std::to_string(peak_demand) +
-        ") exceed the array's " + std::to_string(array_.total_slots()) +
-        " slots");
-  }
-  processes_.reserve(inputs.size());
-  for (std::size_t pid = 0; pid < inputs.size(); ++pid) {
-    processes_.emplace_back(inputs[pid],
-                            rng::mix_seed(options_.seed, pid));
-  }
-}
-
-void Executor::step(std::uint32_t pid) {
-  if (pid >= processes_.size()) return;
-  Process& p = processes_[pid];
-  if (p.done) return;
-
-  if (p.acquiring) {
-    const GetResult r = array_.get(p.rng);
-    get_stats_.record(r.probes);
-    ++completed_gets_;
-    if (r.used_backup) ++backup_gets_;
-    for (std::uint32_t k = 0;
-         k <= r.deepest_batch && k < reach_counts_.size(); ++k) {
-      ++reach_counts_[k];
-    }
-    p.held.push_back(r.name);
-    if (p.held.size() >= p.input.holds()) {
-      if (p.input.frees()) {
-        p.acquiring = false;
-      } else {
-        // One-shot style: names stay held; the round (and tape) ends.
-        --p.rounds_left;
-        if (p.rounds_left == 0) {
-          p.done = true;
-          ++done_count_;
-        }
-      }
-    }
-  } else {
-    array_.free(p.held.back());
-    p.held.pop_back();
-    if (p.held.empty()) {
-      p.acquiring = true;
-      --p.rounds_left;
-      if (p.rounds_left == 0) {
-        p.done = true;
-        ++done_count_;
-      }
-    }
-  }
-}
-
-void Executor::run() {
-  std::uint64_t steps_done = 0;
-  for (const auto pid : schedule_.order()) {
-    if (done_count_ == processes_.size()) break;
-    step(pid);
-    ++steps_done;
-    if (observer_ && steps_done % observe_every_ == 0) {
-      observer_(*this);
-    }
-  }
 }
 
 }  // namespace la::sim

@@ -5,23 +5,28 @@
 // analysis. This is the theory-side harness (balance_check,
 // oneshot_renaming); the wall-clock benches use real threads via
 // bench_util instead.
+//
+// BasicExecutor is templated over any structure satisfying the
+// api::Renamer contract, so every registered comparison structure can be
+// studied under the same adversarial Schedule. The caller owns the
+// structure (construct it directly or through api::visit) and the
+// executor steps it; the paper's balance metrics are available whenever
+// the structure exposes the batch-occupancy introspection surface.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "api/renamer.hpp"
 #include "core/level_array.hpp"
 #include "rng/rng.hpp"
 #include "sim/metrics.hpp"
 #include "stats/summary.hpp"
 
 namespace la::sim {
-
-struct ExecutorOptions {
-  core::LevelArrayConfig config;
-  std::uint64_t seed = 1;
-};
 
 // What one emulated process does over its lifetime.
 class ProcessInput {
@@ -49,7 +54,8 @@ class ProcessInput {
 };
 
 // A fixed order of process activations — the oblivious adversary's move,
-// committed before any coin flips.
+// committed before any coin flips. Copyable, so the identical order can
+// be replayed against several structures.
 class Schedule {
  public:
   static Schedule uniform_random(std::uint32_t n, std::size_t steps,
@@ -72,31 +78,71 @@ class Schedule {
   std::vector<std::uint32_t> order_;
 };
 
-class Executor {
- public:
-  Executor(ExecutorOptions options, std::vector<ProcessInput> inputs,
-           Schedule schedule);
+template <typename Structure>
+class BasicExecutor {
+  static_assert(api::is_renamer_v<Structure>,
+                "BasicExecutor requires the api::Renamer contract");
 
-  void run();
+ public:
+  BasicExecutor(Structure& array, std::uint64_t seed,
+                std::vector<ProcessInput> inputs, Schedule schedule)
+      : array_(&array), schedule_(std::move(schedule)) {
+    // A Get on a full array spins forever in this single-threaded
+    // simulation (nobody else can free), so reject inputs whose
+    // worst-case concurrent demand exceeds the slot count up front.
+    std::uint64_t peak_demand = 0;
+    for (const auto& input : inputs) peak_demand += input.holds();
+    if (peak_demand > array_->total_slots()) {
+      throw std::invalid_argument(
+          "Executor: aggregate holds (" + std::to_string(peak_demand) +
+          ") exceed the array's " + std::to_string(array_->total_slots()) +
+          " slots");
+    }
+    if constexpr (api::has_batch_occupancy_v<Structure>) {
+      reach_counts_.assign(array_->batch_occupancy().size(), 0);
+    } else {
+      reach_counts_.assign(1, 0);  // [0] still counts every Get
+    }
+    processes_.reserve(inputs.size());
+    for (std::size_t pid = 0; pid < inputs.size(); ++pid) {
+      processes_.emplace_back(inputs[pid], rng::mix_seed(seed, pid));
+    }
+  }
+
+  void run() {
+    std::uint64_t steps_done = 0;
+    for (const auto pid : schedule_.order()) {
+      if (done_count_ == processes_.size()) break;
+      step(pid);
+      ++steps_done;
+      if (observer_ && steps_done % observe_every_ == 0) {
+        observer_(*this);
+      }
+    }
+  }
 
   std::uint64_t completed_gets() const { return completed_gets_; }
   std::uint64_t backup_gets() const { return backup_gets_; }
   const stats::TrialStats& get_stats() const { return get_stats_; }
-  const core::LevelArray& array() const { return array_; }
+  const Structure& array() const { return *array_; }
 
   // reach_counts()[k] = number of completed Gets whose probe sequence
-  // reached batch k (so [0] counts every Get).
+  // reached batch k (so [0] counts every Get). Structures without a batch
+  // partition only populate [0].
   const std::vector<std::uint64_t>& reach_counts() const {
     return reach_counts_;
   }
 
+  // Definition 2 balance of the current occupancy snapshot. Only callable
+  // for structures exposing the batch-occupancy introspection surface.
   BalanceReport balance() const {
-    return evaluate_balance(array_.batch_occupancy(),
-                            options_.config.capacity);
+    static_assert(api::has_batch_occupancy_v<Structure>,
+                  "balance() needs the batch_occupancy() surface");
+    return evaluate_balance(array_->batch_occupancy(), array_->capacity());
   }
 
   // Invoke fn(*this) every `every` schedule steps while running.
-  void set_step_observer(std::function<void(const Executor&)> fn,
+  void set_step_observer(std::function<void(const BasicExecutor&)> fn,
                          std::uint64_t every) {
     observer_ = std::move(fn);
     observe_every_ = every == 0 ? 1 : every;
@@ -115,10 +161,48 @@ class Executor {
     bool done = false;
   };
 
-  void step(std::uint32_t pid);
+  void step(std::uint32_t pid) {
+    if (pid >= processes_.size()) return;
+    Process& p = processes_[pid];
+    if (p.done) return;
 
-  ExecutorOptions options_;
-  core::LevelArray array_;
+    if (p.acquiring) {
+      const GetResult r = array_->get(p.rng);
+      get_stats_.record(r.probes);
+      ++completed_gets_;
+      if (r.used_backup) ++backup_gets_;
+      for (std::uint32_t k = 0;
+           k <= r.deepest_batch && k < reach_counts_.size(); ++k) {
+        ++reach_counts_[k];
+      }
+      p.held.push_back(r.name);
+      if (p.held.size() >= p.input.holds()) {
+        if (p.input.frees()) {
+          p.acquiring = false;
+        } else {
+          // One-shot style: names stay held; the round (and tape) ends.
+          --p.rounds_left;
+          if (p.rounds_left == 0) {
+            p.done = true;
+            ++done_count_;
+          }
+        }
+      }
+    } else {
+      array_->free(p.held.back());
+      p.held.pop_back();
+      if (p.held.empty()) {
+        p.acquiring = true;
+        --p.rounds_left;
+        if (p.rounds_left == 0) {
+          p.done = true;
+          ++done_count_;
+        }
+      }
+    }
+  }
+
+  Structure* array_;
   Schedule schedule_;
   std::vector<Process> processes_;
   std::uint64_t done_count_ = 0;
@@ -128,8 +212,11 @@ class Executor {
   std::uint64_t backup_gets_ = 0;
   std::vector<std::uint64_t> reach_counts_;
 
-  std::function<void(const Executor&)> observer_;
+  std::function<void(const BasicExecutor&)> observer_;
   std::uint64_t observe_every_ = 1;
 };
+
+// The historical name: the executor specialized to the paper's structure.
+using Executor = BasicExecutor<core::LevelArray>;
 
 }  // namespace la::sim

@@ -1,0 +1,138 @@
+// Registry-driven conformance test: every registered structure must honor
+// the shared api::Renamer contract — distinct names while held (up to the
+// contention bound), freed names reusable, collect() agreeing with the
+// held set, out-of-range free throwing, and double-free failing loudly.
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "rng/rng.hpp"
+
+namespace {
+
+int failures = 0;
+std::string current;
+
+#define CHECK(cond)                                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FAIL [%s] %s:%d: %s\n", current.c_str(),      \
+                   __FILE__, __LINE__, #cond);                            \
+      ++failures;                                                         \
+    }                                                                     \
+  } while (0)
+
+template <typename Array>
+void check_contract(Array& array, std::uint64_t capacity) {
+  la::rng::MarsagliaXorshift rng(20260727);
+
+  CHECK(array.capacity() >= capacity);
+  CHECK(array.total_slots() >= capacity);
+
+  // Distinct names while held, up to the contention bound.
+  std::set<std::uint64_t> held;
+  for (std::uint64_t i = 0; i < capacity; ++i) {
+    const auto r = array.get(rng);
+    CHECK(r.probes >= 1);
+    CHECK(r.name < array.total_slots());
+    CHECK(held.insert(r.name).second);
+  }
+  CHECK(held.size() == capacity);
+
+  // collect() sees exactly the held set.
+  std::vector<std::uint64_t> collected;
+  CHECK(array.collect(collected) == capacity);
+  CHECK(std::set<std::uint64_t>(collected.begin(), collected.end()) == held);
+
+  // Free half; the freed names must become reusable (the next Gets
+  // succeed and stay distinct from everything still held).
+  std::vector<std::uint64_t> freed;
+  for (auto it = held.begin();
+       it != held.end() && freed.size() < capacity / 2;) {
+    freed.push_back(*it);
+    array.free(*it);
+    it = held.erase(it);
+  }
+  for (std::size_t i = 0; i < freed.size(); ++i) {
+    const auto r = array.get(rng);
+    CHECK(held.insert(r.name).second);
+  }
+  CHECK(held.size() == capacity);
+  collected.clear();
+  CHECK(array.collect(collected) == capacity);
+
+  // Out-of-range free throws std::out_of_range.
+  bool threw_range = false;
+  try {
+    array.free(array.total_slots() + 17);
+  } catch (const std::out_of_range&) {
+    threw_range = true;
+  }
+  CHECK(threw_range);
+
+  // Double-free fails loudly instead of corrupting occupancy.
+  const std::uint64_t victim = *held.begin();
+  held.erase(victim);
+  array.free(victim);
+  bool threw_double = false;
+  try {
+    array.free(victim);
+  } catch (const std::logic_error&) {
+    threw_double = true;
+  }
+  CHECK(threw_double);
+  collected.clear();
+  CHECK(array.collect(collected) == held.size());
+
+  // Drain; the structure ends empty.
+  for (const auto name : held) array.free(name);
+  collected.clear();
+  CHECK(array.collect(collected) == 0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace la;
+
+  const auto& infos = api::registered_structures();
+  CHECK(infos.size() == 7);  // all seven structures are registered
+
+  for (const auto& info : infos) {
+    current = std::string(info.name);
+    api::RenamerConfig config;
+    config.capacity = 48;  // keeps the splitter triangle small
+    api::visit(current, config, [&](auto& array) {
+      check_contract(array, config.capacity);
+    });
+    // Aliases resolve to the same canonical entry.
+    for (const auto alias : info.aliases) {
+      CHECK(api::resolve_structure(std::string(alias)) ==
+            std::string(info.name));
+    }
+  }
+
+  // Unknown names throw and the message lists the registry.
+  current = "(unknown)";
+  bool threw = false;
+  try {
+    api::resolve_structure("no-such-structure");
+  } catch (const std::invalid_argument& e) {
+    threw = true;
+    const std::string what = e.what();
+    CHECK(what.find("level") != std::string::npos);
+    CHECK(what.find("splitter") != std::string::npos);
+  }
+  CHECK(threw);
+
+  if (failures != 0) {
+    std::fprintf(stderr, "%d renamer contract check(s) failed\n", failures);
+    return 1;
+  }
+  std::puts("test_renamer_contract: OK");
+  return 0;
+}
