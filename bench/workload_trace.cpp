@@ -30,7 +30,7 @@ void print_usage() {
       "  --threads=4          worker threads\n"
       "  --ops=40000          registrations per thread\n"
       "  --mean-hold=500      mean hold time (iterations) => names/thread\n"
-      "  --dists=fixed,uniform,exponential,pareto,bimodal\n"
+      "  --dists=fixed,uniform,exponential,pareto,bimodal,zipf\n"
       "  --seed=42            base seed\n"
       "  --csv                emit CSV\n";
 }
@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
   const auto ops = opts.get_uint("ops", 40000);
   const auto mean_hold = opts.get_uint("mean-hold", 500);
   const auto dists = opts.get_string_list(
-      "dists", {"fixed", "uniform", "exponential", "pareto", "bimodal"});
+      "dists", {"fixed", "uniform", "exponential", "pareto", "bimodal", "zipf"});
   const auto seed = opts.get_uint("seed", 42);
 
   // Capacity: steady state holds ~mean_hold names per thread; Pareto's cap

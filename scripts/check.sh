@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full verification: the tier-1 build+test pass, then an
-# AddressSanitizer/UBSan configure preset with the unit + smoke tests
-# rerun under the sanitizers.
+# Full verification, tier by tier (see README "Testing tiers"):
+#   1. tier-1 build + ctest (unit, conformance, stress matrix, smokes)
+#   2. AddressSanitizer/UBSan preset, same suite
+#   3. ThreadSanitizer preset, the concurrency-bearing targets
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,9 +13,6 @@ cmake -B build -S .
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
-echo "== renamer API conformance (every registered structure) =="
-./build/test_renamer_contract
-
 echo "== ASan/UBSan preset =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -22,5 +20,17 @@ cmake -B build-asan -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j "${JOBS}"
 (cd build-asan && ctest --output-on-failure)
+
+echo "== TSan preset: stress matrix under real-thread races =="
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j "${JOBS}" \
+  --target test_stress_matrix test_renamer_contract stress_runner
+./build-tsan/test_renamer_contract
+./build-tsan/test_stress_matrix
+./build-tsan/stress_runner --structure=all --scenario=all --threads=8 \
+  --ops=2000
 
 echo "check.sh: all green"

@@ -26,6 +26,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/geometry.hpp"
 #include "core/types.hpp"
 #include "rng/rng.hpp"
 
@@ -49,15 +50,15 @@ struct RenamerConfig {
   // Theta(N) Collect and memory).
   double id_space_factor = 16.0;
 
+  // Both sizes go through core::scaled_slots, which rejects NaN/negative
+  // factors and products past 2^53 instead of hitting the UB of an
+  // out-of-range double -> integer cast.
   std::uint64_t total_slots() const {
-    const auto slots = static_cast<std::uint64_t>(
-        size_factor * static_cast<double>(capacity));
-    return slots < 2 ? 2 : slots;
+    return core::scaled_slots(size_factor, capacity);
   }
 
   std::uint64_t id_space() const {
-    const auto space = static_cast<std::uint64_t>(
-        id_space_factor * static_cast<double>(capacity));
+    const auto space = core::scaled_slots(id_space_factor, capacity);
     return space < total_slots() ? total_slots() : space;
   }
 };
@@ -96,6 +97,22 @@ struct has_batch_occupancy<
 
 template <typename T>
 inline constexpr bool has_batch_occupancy_v = has_batch_occupancy<T>::value;
+
+// Optional bad-state construction surface: force slots of one batch into
+// the held state (LevelArray's seed_batch_occupancy). The stress driver
+// uses it to rebuild Fig. 3's overcrowded initial distribution before its
+// healing-window check.
+template <typename T, typename = void>
+struct has_seed_batch_occupancy : std::false_type {};
+
+template <typename T>
+struct has_seed_batch_occupancy<
+    T, std::void_t<decltype(std::declval<T&>().seed_batch_occupancy(
+           std::uint32_t{}, std::uint64_t{}))>> : std::true_type {};
+
+template <typename T>
+inline constexpr bool has_seed_batch_occupancy_v =
+    has_seed_batch_occupancy<T>::value;
 
 // --- RNG dispatch -------------------------------------------------------
 

@@ -14,7 +14,9 @@
 
 namespace la::bench {
 
-enum class HoldDistribution { kFixed, kUniform, kExponential, kPareto, kBimodal };
+enum class HoldDistribution {
+  kFixed, kUniform, kExponential, kPareto, kBimodal, kZipf
+};
 
 inline HoldDistribution parse_hold_distribution(const std::string& name) {
   if (name == "fixed") return HoldDistribution::kFixed;
@@ -24,6 +26,7 @@ inline HoldDistribution parse_hold_distribution(const std::string& name) {
   }
   if (name == "pareto") return HoldDistribution::kPareto;
   if (name == "bimodal") return HoldDistribution::kBimodal;
+  if (name == "zipf") return HoldDistribution::kZipf;
   throw std::invalid_argument("unknown hold distribution: " + name);
 }
 
@@ -34,6 +37,7 @@ inline std::string_view hold_distribution_name(HoldDistribution dist) {
     case HoldDistribution::kExponential: return "exponential";
     case HoldDistribution::kPareto: return "pareto";
     case HoldDistribution::kBimodal: return "bimodal";
+    case HoldDistribution::kZipf: return "zipf";
   }
   return "?";
 }
@@ -69,6 +73,16 @@ std::uint64_t draw_hold_time(Rng& rng, HoldDistribution dist, double mean) {
       // 90% short (mean/2), 10% long (5.5*mean): mean preserved.
       value = rng::canonical(rng) < 0.9 ? 0.5 * mean : 5.5 * mean;
       break;
+    case HoldDistribution::kZipf: {
+      // Zipf(1.2)-distributed rank over 64 ranks, rescaled by
+      // mean / E[rank] so the requested mean is preserved: most holds
+      // land well under the mean, the top rank pins ~8x (64 / E[rank])
+      // longer. Magic static: the table is built once.
+      static const rng::ZipfTable table(64, 1.2);
+      const double rank = static_cast<double>(table.draw(rng)) + 1.0;
+      value = rank * mean / table.mean_rank();
+      break;
+    }
   }
   const double rounded = std::floor(value + 0.5);
   return rounded < 1.0 ? 1 : static_cast<std::uint64_t>(rounded);

@@ -16,6 +16,30 @@
 
 namespace la::core {
 
+// Largest slot count any structure will size itself to. Doubles hold
+// integers exactly only up to 2^53, so multiplier * capacity products
+// beyond it cannot be converted faithfully (and the cast itself would be
+// undefined past 2^64); any real array that large would exhaust memory
+// long before, so refuse loudly at configuration time.
+inline constexpr std::uint64_t kMaxScaledSlots = std::uint64_t{1} << 53;
+
+// slots = multiplier * capacity with an explicit overflow guard — the one
+// place a (factor, capacity) pair becomes an array size, shared by
+// LevelArrayConfig and api::RenamerConfig so the guard cannot drift.
+inline std::uint64_t scaled_slots(double multiplier, std::uint64_t capacity) {
+  const double product = multiplier * static_cast<double>(capacity);
+  if (!(product >= 0.0)) {  // also rejects NaN
+    throw std::invalid_argument(
+        "scaled_slots: multiplier * capacity is negative or NaN");
+  }
+  if (product >= static_cast<double>(kMaxScaledSlots)) {
+    throw std::overflow_error(
+        "scaled_slots: multiplier * capacity exceeds 2^53 slots");
+  }
+  const auto slots = static_cast<std::uint64_t>(product);
+  return slots < 2 ? 2 : slots;
+}
+
 class Batch {
  public:
   Batch(std::uint64_t offset, std::uint64_t size)

@@ -143,9 +143,7 @@ class LevelArray {
 
  private:
   static std::uint64_t slot_count(const LevelArrayConfig& config) {
-    const auto slots = static_cast<std::uint64_t>(
-        config.size_multiplier * static_cast<double>(config.capacity));
-    return slots < 2 ? 2 : slots;
+    return scaled_slots(config.size_multiplier, config.capacity);
   }
 
   LevelArrayConfig config_;

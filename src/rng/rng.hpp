@@ -7,10 +7,13 @@
 // std::uint64_t operator(), so bounded() / canonical() work generically.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace la::rng {
 
@@ -116,6 +119,45 @@ double canonical(Rng& rng) {
   if (u >= 1.0) u = 0.99999999999999989;
   return u;
 }
+
+// Zipf(s) rank sampler: inverse CDF over a cumulative 1/rank^s weight
+// table, built once, O(log ranks) per draw. The one implementation of
+// this math — sim::Schedule::skewed draws process ids from it and the
+// bench hold-time workloads draw durations.
+class ZipfTable {
+ public:
+  ZipfTable(std::uint32_t ranks, double exponent) {
+    if (ranks == 0) ranks = 1;
+    cumulative_.reserve(ranks);
+    double total = 0.0;
+    double weighted = 0.0;
+    for (std::uint32_t r = 0; r < ranks; ++r) {
+      const double rank = static_cast<double>(r) + 1.0;
+      const double w = 1.0 / std::pow(rank, exponent);
+      total += w;
+      weighted += rank * w;
+      cumulative_.push_back(total);
+    }
+    mean_rank_ = weighted / total;
+  }
+
+  // Rank index in [0, ranks); 0 is the hottest rank.
+  template <typename Rng>
+  std::uint32_t draw(Rng& rng) const {
+    const double u = canonical(rng) * cumulative_.back();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<std::uint32_t>(it - cumulative_.begin());
+  }
+
+  // E[rank] with ranks counted from 1 — what draw() + 1 averages to;
+  // lets callers rescale draws to a requested mean.
+  double mean_rank() const { return mean_rank_; }
+
+ private:
+  std::vector<double> cumulative_;
+  double mean_rank_ = 0.0;
+};
 
 // SplitMix64 finalizer — decorrelates (seed, salt) pairs so per-thread /
 // per-trial streams never overlap even for adjacent seeds.

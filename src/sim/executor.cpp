@@ -1,8 +1,5 @@
 #include "sim/executor.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 namespace la::sim {
 
 Schedule Schedule::uniform_random(std::uint32_t n, std::size_t steps,
@@ -43,21 +40,11 @@ Schedule Schedule::bursty(std::uint32_t n, std::size_t steps,
 Schedule Schedule::skewed(std::uint32_t n, std::size_t steps, double exponent,
                           std::uint64_t seed) {
   rng::MarsagliaXorshift rng(rng::mix_seed(seed, 0x51CE3Du));
-  // Zipf via inverse-CDF over the cumulative weight table.
-  std::vector<double> cumulative(n);
-  double total = 0.0;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    total += 1.0 / std::pow(static_cast<double>(i) + 1.0, exponent);
-    cumulative[i] = total;
-  }
+  const rng::ZipfTable table(n, exponent);
   std::vector<std::uint32_t> order;
   order.reserve(steps);
   for (std::size_t i = 0; i < steps; ++i) {
-    const double u = rng::canonical(rng) * total;
-    const auto it =
-        std::lower_bound(cumulative.begin(), cumulative.end(), u);
-    order.push_back(
-        static_cast<std::uint32_t>(it - cumulative.begin()));
+    order.push_back(table.draw(rng));
   }
   return Schedule(std::move(order));
 }

@@ -78,6 +78,25 @@ class Schedule {
   std::vector<std::uint32_t> order_;
 };
 
+// One executed operation of a simulated run: which process moved and what
+// it did. The sequence of StepRecords is a function of the Schedule and
+// the ProcessInput tapes alone — every Get returns exactly one name, so
+// the process state machine advances identically no matter which names a
+// structure hands out. Replaying one committed Schedule against two
+// different structures therefore yields the same record sequence
+// (test_schedule_replay pins this down).
+struct StepRecord {
+  std::uint32_t pid = 0;
+  bool get = false;  // false = Free
+};
+
+inline bool operator==(const StepRecord& a, const StepRecord& b) {
+  return a.pid == b.pid && a.get == b.get;
+}
+inline bool operator!=(const StepRecord& a, const StepRecord& b) {
+  return !(a == b);
+}
+
 template <typename Structure>
 class BasicExecutor {
   static_assert(api::is_renamer_v<Structure>,
@@ -148,6 +167,11 @@ class BasicExecutor {
     observe_every_ = every == 0 ? 1 : every;
   }
 
+  // Append one StepRecord per *executed* operation to `out` (activations
+  // of finished processes execute nothing and are not recorded). The
+  // caller owns the vector; pass nullptr to stop recording.
+  void set_step_recorder(std::vector<StepRecord>* out) { recorder_ = out; }
+
  private:
   struct Process {
     explicit Process(const ProcessInput& in, std::uint64_t seed)
@@ -166,6 +190,7 @@ class BasicExecutor {
     Process& p = processes_[pid];
     if (p.done) return;
 
+    if (recorder_) recorder_->push_back({pid, p.acquiring});
     if (p.acquiring) {
       const GetResult r = array_->get(p.rng);
       get_stats_.record(r.probes);
@@ -214,6 +239,7 @@ class BasicExecutor {
 
   std::function<void(const BasicExecutor&)> observer_;
   std::uint64_t observe_every_ = 1;
+  std::vector<StepRecord>* recorder_ = nullptr;
 };
 
 // The historical name: the executor specialized to the paper's structure.

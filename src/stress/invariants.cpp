@@ -1,0 +1,107 @@
+#include "stress/invariants.hpp"
+
+#include <algorithm>
+
+namespace la::stress {
+namespace {
+
+constexpr std::size_t kMaxViolations = 16;
+constexpr std::uint32_t kNoHolder = 0xFFFFFFFFu;
+
+void violate(InvariantReport& report, std::string message) {
+  if (report.violations.size() < kMaxViolations) {
+    report.violations.push_back(std::move(message));
+  } else if (report.violations.size() == kMaxViolations) {
+    report.violations.push_back("... further violations suppressed");
+  }
+}
+
+std::string describe(const Event& e) {
+  return std::string(e.op == Op::kGet ? "Get" : "Free") + " name=" +
+         std::to_string(e.name) + " thread=" + std::to_string(e.thread) +
+         " epoch=" + std::to_string(e.epoch);
+}
+
+}  // namespace
+
+std::vector<Event> merge_logs(const std::vector<const EventLog*>& logs) {
+  std::size_t total = 0;
+  for (const auto* log : logs) total += log->size();
+  std::vector<Event> trace;
+  trace.reserve(total);
+  for (const auto* log : logs) {
+    trace.insert(trace.end(), log->events().begin(), log->events().end());
+  }
+  return trace;
+}
+
+InvariantReport check_trace(std::vector<Event>& trace,
+                            const CheckConfig& config) {
+  InvariantReport report;
+  report.events = trace.size();
+
+  std::sort(trace.begin(), trace.end(),
+            [](const Event& a, const Event& b) { return a.epoch < b.epoch; });
+
+  // holder[name] = thread currently holding it, or kNoHolder.
+  std::vector<std::uint32_t> holder(
+      static_cast<std::size_t>(config.total_slots), kNoHolder);
+  std::uint64_t held = 0;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Event& e = trace[i];
+    // Tickets are unique by construction; a duplicate epoch means the log
+    // itself is corrupt, which would undermine every later verdict.
+    if (i > 0 && trace[i - 1].epoch == e.epoch) {
+      violate(report, "duplicate epoch in trace: " + describe(e));
+    }
+    if (e.name >= config.total_slots) {
+      violate(report, "name outside [0, total_slots): " + describe(e));
+      continue;
+    }
+    if (e.op == Op::kGet) {
+      ++report.gets;
+      const std::uint32_t current = holder[e.name];
+      if (current != kNoHolder) {
+        violate(report, "duplicate grant (still held by thread " +
+                            std::to_string(current) + "): " + describe(e));
+        continue;  // keep the original holder so one bug reports once
+      }
+      holder[e.name] = e.thread;
+      ++held;
+      if (held > report.peak_concurrent) report.peak_concurrent = held;
+      if (config.max_concurrent != 0 && held > config.max_concurrent) {
+        violate(report,
+                "concurrent holds " + std::to_string(held) +
+                    " exceed the scenario bound " +
+                    std::to_string(config.max_concurrent) + ": " + describe(e));
+      }
+    } else {
+      ++report.frees;
+      const std::uint32_t current = holder[e.name];
+      if (current == kNoHolder) {
+        violate(report, "free of a name nobody holds (lost release or "
+                        "double free): " +
+                            describe(e));
+        continue;
+      }
+      if (current != e.thread && e.thread != config.reaper_thread) {
+        violate(report, "free by thread " + std::to_string(e.thread) +
+                            " of a name held by thread " +
+                            std::to_string(current) + ": " + describe(e));
+        // Fall through and release anyway: the name is no longer held.
+      }
+      holder[e.name] = kNoHolder;
+      --held;
+    }
+  }
+
+  report.leaked = held;
+  if (config.expect_empty_at_end && held != 0) {
+    violate(report, std::to_string(held) +
+                        " name(s) still held at quiescence (leaked slots)");
+  }
+  return report;
+}
+
+}  // namespace la::stress

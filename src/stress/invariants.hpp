@@ -1,0 +1,64 @@
+// The invariant checker: replays a merged stress-run trace and asserts
+// the paper's correctness claims on it —
+//
+//   * uniqueness:   no name is granted while another thread still holds
+//                   it (mutual exclusion per name),
+//   * range:        every granted name is inside [0, total_slots),
+//   * ordering:     a name is only freed by the thread holding it, and
+//                   only re-granted after that free (Free-before-Get per
+//                   name),
+//   * boundedness:  concurrent holds never exceed the scenario's stated
+//                   bound (<= the structure's contention bound),
+//   * quiescence:   after the drain, zero slots remain held (no leaks).
+//
+// The checker is deliberately a dumb sequential replay over the
+// epoch-sorted trace: all the concurrency subtlety lives in how the trace
+// was stamped (see event_log.hpp), so the verdict logic stays auditable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stress/event_log.hpp"
+
+namespace la::stress {
+
+// Sentinel: no reaper thread, ownership is enforced for every free.
+inline constexpr std::uint32_t kNoReaper = 0xFFFFFFFFu;
+
+struct CheckConfig {
+  // Names must fall in [0, total_slots).
+  std::uint64_t total_slots = 0;
+  // Peak concurrent holds the scenario claims it never exceeds; 0 skips
+  // the bound check.
+  std::uint64_t max_concurrent = 0;
+  // Expect the trace to end with nothing held (the driver drains).
+  bool expect_empty_at_end = true;
+  // One thread id allowed to free names it did not acquire: the driver's
+  // post-join healing/drain phase, which the fork/join handed ownership
+  // to. Workers freeing each other's names is always a violation.
+  std::uint32_t reaper_thread = kNoReaper;
+};
+
+struct InvariantReport {
+  std::uint64_t events = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t peak_concurrent = 0;
+  std::uint64_t leaked = 0;  // names still held when the trace ends
+  // First violations, capped; empty means every invariant held.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Sorts `trace` by epoch in place, replays it, and returns the report.
+InvariantReport check_trace(std::vector<Event>& trace,
+                            const CheckConfig& config);
+
+// Convenience: merge per-thread logs into one trace (unsorted;
+// check_trace sorts).
+std::vector<Event> merge_logs(const std::vector<const EventLog*>& logs);
+
+}  // namespace la::stress

@@ -1,0 +1,76 @@
+// The stress scenario matrix: named adversarial workload shapes the
+// driver can run any registered structure through. Each scenario varies
+// one pressure axis the paper's claims must survive:
+//
+//   steady     back-to-back Free+Get churn at ~half the contention bound
+//              (the paper's §6 workload, as a correctness run),
+//   burst      all threads arrive through a SpinBarrier at once every
+//              round — thundering-herd TAS storms on the same batches,
+//   zipf       Zipf-skewed hold times: most names are freed immediately,
+//              a heavy tail is pinned ~10x longer, aging the occupancy,
+//   oversub    churn with concurrent holds pushed to just under the
+//              contention bound — probe failures and backup sweeps,
+//   joinleave  threads join the run staggered and leave after their
+//              budget — membership churn around a live structure.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace la::stress {
+
+enum class Scenario { kSteady, kBurst, kZipf, kOversub, kJoinLeave };
+
+inline const std::vector<Scenario>& all_scenarios() {
+  static const std::vector<Scenario> scenarios = {
+      Scenario::kSteady, Scenario::kBurst, Scenario::kZipf,
+      Scenario::kOversub, Scenario::kJoinLeave};
+  return scenarios;
+}
+
+inline std::string_view scenario_name(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kSteady: return "steady";
+    case Scenario::kBurst: return "burst";
+    case Scenario::kZipf: return "zipf";
+    case Scenario::kOversub: return "oversub";
+    case Scenario::kJoinLeave: return "joinleave";
+  }
+  return "?";
+}
+
+inline Scenario parse_scenario(const std::string& name) {
+  if (name == "steady" || name == "churn") return Scenario::kSteady;
+  if (name == "burst") return Scenario::kBurst;
+  if (name == "zipf" || name == "skewed") return Scenario::kZipf;
+  if (name == "oversub" || name == "oversubscribe") return Scenario::kOversub;
+  if (name == "joinleave" || name == "join-leave") return Scenario::kJoinLeave;
+  throw std::invalid_argument(
+      "unknown scenario: " + name +
+      " (expected steady|burst|zipf|oversub|joinleave)");
+}
+
+// Resolve a --scenario list: "all" expands to the full matrix.
+inline std::vector<Scenario> expand_scenarios(
+    const std::vector<std::string>& names) {
+  std::vector<Scenario> out;
+  const auto add = [&out](Scenario s) {
+    for (const auto existing : out) {
+      if (existing == s) return;
+    }
+    out.push_back(s);
+  };
+  for (const auto& name : names) {
+    if (name == "all") {
+      for (const auto s : all_scenarios()) add(s);
+    } else {
+      add(parse_scenario(name));
+    }
+  }
+  return out;
+}
+
+}  // namespace la::stress

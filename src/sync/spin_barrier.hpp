@@ -1,9 +1,19 @@
-// Sense-reversing spin barrier. Reusable across rounds as long as rounds
-// are separated by a join (which is how every bench uses it).
+// Sense-reversing spin barrier, reusable across rounds *within* a
+// parallel section: round r+1 cannot complete until every participant has
+// entered it, which requires each to have observed round r's sense flip
+// first — so the flip-back can never strand a straggler. The stress
+// subsystem's burst scenario leans on exactly this (barrier storms with
+// no join between rounds).
+//
+// Waiters escalate from _mm_pause to std::this_thread::yield after a few
+// hundred spins: when threads outnumber cores (the stress default), the
+// thread that must flip the sense may not even be scheduled, and a
+// yield-free spin would burn a whole quantum per waiter per round.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -19,6 +29,27 @@ inline void spin_pause() {
 #endif
 }
 
+// Escalating busy-wait: cheap pauses while the wait is likely short, then
+// yield to the scheduler so spinners stop starving the thread they are
+// waiting on. Create one per wait loop; call once per failed check.
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < kYieldAfter) {
+      ++spins_;
+      spin_pause();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { spins_ = 0; }
+
+ private:
+  static constexpr std::uint32_t kYieldAfter = 256;
+  std::uint32_t spins_ = 0;
+};
+
 class SpinBarrier {
  public:
   explicit SpinBarrier(std::uint32_t participants)
@@ -27,19 +58,33 @@ class SpinBarrier {
   std::uint32_t participants() const { return participants_; }
 
   void wait() {
+    if (aborted_.load(std::memory_order_acquire)) return;
     const bool old_sense = sense_.load(std::memory_order_acquire);
     if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == participants_) {
       arrived_.store(0, std::memory_order_relaxed);
       sense_.store(!old_sense, std::memory_order_release);
     } else {
-      while (sense_.load(std::memory_order_acquire) == old_sense) spin_pause();
+      Backoff backoff;
+      while (sense_.load(std::memory_order_acquire) == old_sense) {
+        if (aborted_.load(std::memory_order_acquire)) return;
+        backoff.pause();
+      }
     }
   }
+
+  // Poison the barrier: every current and future wait() returns
+  // immediately. For a participant that dies mid-run (the stress driver
+  // catches the exception and aborts) — without this, the survivors
+  // would spin forever on a rendezvous that can never complete.
+  void abort() { aborted_.store(true, std::memory_order_release); }
+
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
 
  private:
   const std::uint32_t participants_;
   std::atomic<std::uint32_t> arrived_{0};
   std::atomic<bool> sense_{false};
+  std::atomic<bool> aborted_{false};
 };
 
 }  // namespace la::sync

@@ -6,8 +6,10 @@
 #include <cstdlib>
 #include <vector>
 
+#include "api/renamer.hpp"
 #include "core/geometry.hpp"
 #include "core/level_array.hpp"
+#include "rng/rng.hpp"
 
 namespace {
 
@@ -101,6 +103,109 @@ int main() {
     const la::core::Geometry tiny(2);
     CHECK(tiny.num_batches() == 1);
     CHECK(tiny.batch(0).size() == 2);
+  }
+
+  // capacity = 1: the floor of two slots kicks in and the structure still
+  // renames (Get/Free round-trips at the contention bound of one).
+  {
+    la::core::LevelArrayConfig config;
+    config.capacity = 1;
+    la::core::LevelArray array(config);
+    CHECK(array.total_slots() == 2);
+    CHECK(array.geometry().num_batches() == 1);
+    la::rng::MarsagliaXorshift rng(7);
+    const auto r = array.get(rng);
+    CHECK(r.name < 2);
+    array.free(r.name);
+    const auto again = array.get(rng);
+    CHECK(again.name < 2);
+    array.free(again.name);
+  }
+
+  // size_multiplier just above 1.0: L rounds down to barely more than n,
+  // yet all n names must still be grantable (the backup sweep guarantees
+  // totality once the random probes run out of empty slots).
+  {
+    la::core::LevelArrayConfig config;
+    config.capacity = 64;
+    config.size_multiplier = 1.05;
+    la::core::LevelArray array(config);
+    CHECK(array.total_slots() == 67);
+    la::rng::MarsagliaXorshift rng(11);
+    std::vector<std::uint64_t> names;
+    for (int i = 0; i < 64; ++i) names.push_back(array.get(rng).name);
+    std::vector<std::uint64_t> collected;
+    CHECK(array.collect(collected) == 64);
+    for (const auto name : names) array.free(name);
+    collected.clear();
+    CHECK(array.collect(collected) == 0);
+  }
+
+  // probes_per_batch tails: probes_for(k) reads pv[min(k, pv.size()-1)],
+  // so a vector longer than the batch count serves its raw tail entries
+  // to out-of-range batch indices, a short vector repeats its last entry
+  // for deeper batches, and zero entries are sanitized to one probe.
+  {
+    la::core::LevelArrayConfig config;
+    config.capacity = 1024;  // L = 2048, 4 batches
+    config.probes_per_batch = {4, 3, 2, 1, 9, 9, 9, 9, 9, 9, 9, 9};
+    la::core::LevelArray long_tail(config);
+    CHECK(long_tail.geometry().num_batches() == 4);
+    CHECK(long_tail.probes_for(0) == 4);
+    CHECK(long_tail.probes_for(3) == 1);
+    CHECK(long_tail.probes_for(100) == 9);  // clamped to the last entry
+
+    config.probes_per_batch = {2};
+    la::core::LevelArray repeat_tail(config);
+    CHECK(repeat_tail.probes_for(0) == 2);
+    CHECK(repeat_tail.probes_for(3) == 2);
+
+    config.probes_per_batch = {0, 0};
+    la::core::LevelArray zero_tail(config);
+    CHECK(zero_tail.probes_for(0) == 1);
+    CHECK(zero_tail.probes_for(5) == 1);
+  }
+
+  // total_slots overflow guard: multiplier * capacity products beyond
+  // 2^53 must throw before any cast or allocation happens, for both the
+  // core config and the api config (which share core::scaled_slots).
+  {
+    bool threw = false;
+    try {
+      la::core::LevelArrayConfig config;
+      config.capacity = std::uint64_t{1} << 40;
+      config.size_multiplier = 1e9;
+      la::core::LevelArray array(config);
+    } catch (const std::overflow_error&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    threw = false;
+    try {
+      la::api::RenamerConfig config;
+      config.capacity = std::uint64_t{1} << 40;
+      config.size_factor = 1e9;
+      (void)config.total_slots();
+    } catch (const std::overflow_error&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    threw = false;
+    try {
+      la::api::RenamerConfig config;
+      config.capacity = 1024;
+      config.id_space_factor = -4.0;  // negative products are rejected too
+      (void)config.id_space();
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    CHECK(threw);
+
+    // Just inside the guard still works.
+    CHECK(la::core::scaled_slots(2.0, 1024) == 2048);
+    CHECK(la::core::scaled_slots(0.0, 1024) == 2);
   }
 
   if (failures != 0) {

@@ -116,6 +116,63 @@ int main() {
     }
   }
 
+  // SplitterRenamer edge cases: the Theta(n^2)-memory capacity cap must
+  // refuse loudly through the registry path, and the recycling facade's
+  // double-free / reserved-name-0 guards must fail before corrupting the
+  // free list.
+  {
+    current = "splitter/capacity-refusal";
+    api::RenamerConfig big;
+    big.capacity = api::SplitterRenamer::kMaxCapacity + 1;
+    bool refused = false;
+    try {
+      api::visit("splitter", big, [](auto& array) { (void)array; });
+    } catch (const std::invalid_argument& e) {
+      refused = true;
+      CHECK(std::string(e.what()).find("capacity") != std::string::npos);
+    }
+    CHECK(refused);
+  }
+  {
+    current = "splitter/double-free-edges";
+    api::SplitterRenamer splitter(16);
+    la::rng::MarsagliaXorshift rng(3);
+
+    // Name 0 is reserved by the facade and can never be freed.
+    bool threw_zero = false;
+    try {
+      splitter.free(0);
+    } catch (const std::logic_error&) {
+      threw_zero = true;
+    }
+    CHECK(threw_zero);
+
+    // Double-freeing a recycled name fails both times it is not held —
+    // including after the name has been through the Treiber free list.
+    const auto first = splitter.get(rng);
+    splitter.free(first.name);
+    bool threw_double = false;
+    try {
+      splitter.free(first.name);
+    } catch (const std::logic_error&) {
+      threw_double = true;
+    }
+    CHECK(threw_double);
+
+    // The recycled name comes back in O(1) and is then freeable again.
+    const auto second = splitter.get(rng);
+    CHECK(second.name == first.name);
+    CHECK(second.probes == 1);
+    splitter.free(second.name);
+    bool threw_again = false;
+    try {
+      splitter.free(second.name);
+    } catch (const std::logic_error&) {
+      threw_again = true;
+    }
+    CHECK(threw_again);
+  }
+
   // Unknown names throw and the message lists the registry.
   current = "(unknown)";
   bool threw = false;
