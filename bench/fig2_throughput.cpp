@@ -15,6 +15,7 @@
 
 #include "bench_util/algos.hpp"
 #include "bench_util/options.hpp"
+#include "bench_util/report.hpp"
 #include "stats/table.hpp"
 
 namespace {
@@ -29,7 +30,9 @@ void print_usage() {
       "  --size-factor=2.0   L = size-factor * N\n"
       "  --algo=level,random,linear   structures to run (any registered\n"
       "                      name/alias; 'all' = every registered structure)\n"
+      "  --rng=marsaglia     probe RNG (marsaglia | lehmer | pcg32)\n"
       "  --seed=42           base RNG seed\n"
+      "  --json=<path>       also write the machine-readable report\n"
       "  --csv               emit CSV instead of a table\n";
 }
 
@@ -50,13 +53,17 @@ int main(int argc, char** argv) {
   const double size_factor = opts.get_double("size-factor", 2.0);
   const auto algos = bench::expand_algos(
       opts.get_string_list("algo", {"level", "random", "linear"}));
+  const auto rng_kind =
+      rng::parse_rng_kind(opts.get_string("rng", "marsaglia"));
   const auto seed = opts.get_uint("seed", 42);
+  const std::string json_path = opts.get_string("json", "");
 
   std::cout << "# Figure 2 (top-left): throughput (total Get+Free ops / "
             << seconds << " s window)\n"
             << "# N = " << mult << " * threads, L = " << size_factor
             << " * N, prefill = " << prefill << "\n";
 
+  bench::BenchReport report("fig2_throughput");
   stats::Table table({"algo", "threads", "N", "ops", "ops_per_sec"});
   for (const auto& algo : algos) {
     for (const auto n : threads) {
@@ -67,6 +74,7 @@ int main(int argc, char** argv) {
       point.driver.ops_per_thread = 0;
       point.driver.seconds = seconds;
       point.driver.seed = seed;
+      point.driver.rng_kind = rng_kind;
       point.size_factor = size_factor;
       bench::RunResult result;
       try {
@@ -80,12 +88,34 @@ int main(int argc, char** argv) {
       table.add_row({std::string(bench::algo_name(algo)), std::uint64_t{n},
                      point.driver.emulated_registrants(), result.total_ops,
                      result.throughput_ops_per_sec});
+      report.add_run()
+          .set("structure", algo)
+          .set("rng", rng::rng_kind_name(rng_kind))
+          .set("threads", n)
+          .set_object("config",
+                      bench::JsonObject()
+                          .set("mult", mult)
+                          .set("registrants",
+                               point.driver.emulated_registrants())
+                          .set("size_factor", size_factor)
+                          .set("prefill", prefill)
+                          .set("seconds", seconds)
+                          .set("seed", seed))
+          .set("ops_per_sec", result.throughput_ops_per_sec)
+          .set("total_ops", result.total_ops)
+          .set("elapsed_seconds", result.elapsed_seconds)
+          .set("backup_gets", result.backup_gets)
+          .set_object("probes", bench::probe_stats_json(result.trials));
     }
   }
   if (opts.has("csv")) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+
+  if (!json_path.empty() && !report.write_file(json_path, std::cerr)) {
+    return 1;
   }
 
   for (const auto& key : opts.unused_keys()) {

@@ -11,6 +11,7 @@
 // stability over time — not just the final number — is visible.
 #include <iostream>
 
+#include "api/registry.hpp"
 #include "bench_util/algos.hpp"
 #include "bench_util/options.hpp"
 #include "stats/table.hpp"
@@ -20,6 +21,7 @@ namespace {
 void print_usage() {
   std::cout <<
       "longrun_stability: long-execution probe-count stability (paper §6)\n"
+      "  --structure=level   structure to churn (any registered name/alias)\n"
       "  --threads=8         worker threads (paper: 80)\n"
       "  --ops=20000000      total Get+Free budget across the run\n"
       "  --checkpoints=10    progress rows to print\n"
@@ -40,6 +42,8 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  const auto structure =
+      bench::parse_algo(opts.get_string("structure", "level"));
   const auto threads = static_cast<std::uint32_t>(opts.get_uint("threads", 8));
   const auto total_ops = opts.get_uint("ops", 20'000'000);
   const auto checkpoints = std::max<std::uint64_t>(opts.get_uint("checkpoints", 10), 1);
@@ -49,18 +53,20 @@ int main(int argc, char** argv) {
       rng::parse_rng_kind(opts.get_string("rng", "marsaglia"));
   const auto seed = opts.get_uint("seed", 42);
 
-  std::cout << "# Long-run stability: LevelArray, " << threads << " threads, "
-            << total_ops << " total ops (paper: 1e9+ ops, max 6 probes, "
-               "avg ~1.75)\n";
+  std::cout << "# Long-run stability: " << bench::algo_name(structure) << ", "
+            << threads << " threads, " << total_ops
+            << " total ops (paper: 1e9+ ops, max 6 probes, avg ~1.75)\n";
 
   stats::Table table({"ops_so_far", "avg_trials", "stddev", "worst_so_far",
                       "p999", "backup_gets"});
 
-  // Run in checkpoint-sized chunks against one persistent array, so the
-  // "worst so far" column genuinely accumulates over the whole execution.
-  core::LevelArrayConfig config;
-  config.capacity = mult * threads;
-  core::LevelArray array(config);
+  // Run in checkpoint-sized chunks against one persistent structure, so
+  // the "worst so far" column genuinely accumulates over the whole
+  // execution — run_churn is generic over the Renamer contract, so the
+  // persistent structure can be anything in the registry.
+  api::RenamerConfig rc;
+  rc.capacity = mult * threads;
+  rc.rng_kind = rng_kind;
 
   stats::TrialStats cumulative;
   std::uint64_t ops_done = 0;
@@ -68,22 +74,33 @@ int main(int argc, char** argv) {
   const std::uint64_t ops_per_checkpoint =
       std::max<std::uint64_t>(total_ops / checkpoints, 2);
 
-  for (std::uint64_t cp = 0; cp < checkpoints; ++cp) {
-    bench::DriverConfig driver;
-    driver.threads = threads;
-    driver.emulation_multiplier = mult;
-    driver.prefill = prefill;
-    driver.ops_per_thread =
-        std::max<std::uint64_t>(ops_per_checkpoint / threads, 2);
-    driver.seconds = 0;
-    driver.seed = seed + cp;  // fresh probe streams each chunk
-    driver.rng_kind = rng_kind;
-    const auto result = bench::run_churn(array, driver);
-    cumulative.merge(result.trials);
-    ops_done += result.total_ops;
-    backup_total += result.backup_gets;
-    table.add_row({ops_done, cumulative.average(), cumulative.stddev(),
-                   cumulative.worst_case(), cumulative.p999(), backup_total});
+  try {
+    api::visit(structure, rc, [&](auto& array) {
+      for (std::uint64_t cp = 0; cp < checkpoints; ++cp) {
+        bench::DriverConfig driver;
+        driver.threads = threads;
+        driver.emulation_multiplier = mult;
+        driver.prefill = prefill;
+        driver.ops_per_thread =
+            std::max<std::uint64_t>(ops_per_checkpoint / threads, 2);
+        driver.seconds = 0;
+        driver.seed = seed + cp;  // fresh probe streams each chunk
+        driver.rng_kind = rng_kind;
+        const auto result = bench::run_churn(array, driver);
+        cumulative.merge(result.trials);
+        ops_done += result.total_ops;
+        backup_total += result.backup_gets;
+        table.add_row({ops_done, cumulative.average(), cumulative.stddev(),
+                       cumulative.worst_case(), cumulative.p999(),
+                       backup_total});
+      }
+      return 0;
+    });
+  } catch (const std::invalid_argument& e) {
+    // A structure may refuse the configuration (e.g. the splitter's
+    // quadratic-memory cap); fail with the reason, not a std::terminate.
+    std::cerr << "longrun_stability: " << e.what() << "\n";
+    return 1;
   }
 
   if (opts.has("csv")) {

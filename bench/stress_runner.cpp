@@ -9,11 +9,13 @@
 //   stress_runner --structure=level --scenario=burst --threads=16
 //   stress_runner --structure=all --threads=8 --seconds=1   # timed soak
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "bench_util/algos.hpp"
 #include "bench_util/options.hpp"
+#include "bench_util/report.hpp"
 #include "stats/table.hpp"
 #include "stress/driver.hpp"
 
@@ -33,6 +35,7 @@ void print_usage() {
       "  --heal-ops=0        healing-window churn ops (0 = 4*capacity)\n"
       "  --rng=marsaglia     probe RNG (marsaglia | lehmer | pcg32)\n"
       "  --seed=42           base RNG seed\n"
+      "  --json=<path>       also write the machine-readable report\n"
       "  --csv               emit CSV\n"
       "\n"
       "Checked invariants per cell: unique names while held, names in\n"
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
   base.heal_ops = opts.get_uint("heal-ops", 0);
   base.rng_kind = rng::parse_rng_kind(opts.get_string("rng", "marsaglia"));
   base.seed = opts.get_uint("seed", 42);
+  const std::string json_path = opts.get_string("json", "");
 
   std::cout << "# Stress matrix: " << structures.size() << " structure(s) x "
             << scenarios.size() << " scenario(s), " << base.threads
@@ -80,6 +84,7 @@ int main(int argc, char** argv) {
                     : std::to_string(base.seconds) + " s/cell")
             << "\n";
 
+  bench::BenchReport report_json("stress_runner");
   stats::Table table({"structure", "scenario", "events", "gets", "peak_held",
                       "avg_trials", "worst", "backup_gets", "deep_fill",
                       "verdict"});
@@ -115,6 +120,35 @@ int main(int argc, char** argv) {
            std::string(report.ok()           ? "OK"
                        : report.invariants.ok() ? "UNBALANCED"
                                                 : "VIOLATED")});
+      report_json.add_run()
+          .set("structure", structure)
+          .set("scenario", stress::scenario_name(scenario))
+          .set("rng", rng::rng_kind_name(base.rng_kind))
+          .set("threads", base.threads)
+          .set_object("config",
+                      bench::JsonObject()
+                          .set("capacity", cfg.effective_capacity())
+                          .set("ops_per_thread", base.ops_per_thread)
+                          .set("seconds", base.seconds)
+                          .set("seed", base.seed))
+          .set("ops_per_sec",
+               report.elapsed_seconds > 0.0
+                   ? static_cast<double>(report.total_ops) /
+                         report.elapsed_seconds
+                   : 0.0)
+          .set("total_ops", report.total_ops)
+          .set("elapsed_seconds", report.elapsed_seconds)
+          .set("events", report.invariants.events)
+          .set("peak_held", report.invariants.peak_concurrent)
+          .set("backup_gets", report.backup_gets)
+          // Not-measured must stay distinguishable from a measured 0.0;
+          // the double setter renders NaN as JSON null.
+          .set("deep_fill",
+               report.balance_checked
+                   ? report.heal_max_deep_fill
+                   : std::numeric_limits<double>::quiet_NaN())
+          .set("ok", report.ok())
+          .set_object("probes", bench::probe_stats_json(report.trials));
       for (const auto& violation : report.invariants.violations) {
         std::cerr << "violation [" << structure << "/"
                   << stress::scenario_name(scenario) << "] " << violation
@@ -151,6 +185,10 @@ int main(int argc, char** argv) {
                           "\n"
                     : "stress_runner: " + std::to_string(failures) +
                           " cell(s) FAILED\n");
+
+  if (!json_path.empty() && !report_json.write_file(json_path, std::cerr)) {
+    return 126;
+  }
 
   for (const auto& key : opts.unused_keys()) {
     std::cerr << "warning: unused flag --" << key << "\n";

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification, tier by tier (see README "Testing tiers"):
 #   1. tier-1 build + ctest (unit, conformance, stress matrix, smokes)
-#   2. AddressSanitizer/UBSan preset, same suite
-#   3. ThreadSanitizer preset, the concurrency-bearing targets
+#   2. bench-smoke: the --json pipeline emits parseable, nonzero reports
+#   3. AddressSanitizer/UBSan preset, same suite
+#   4. ThreadSanitizer preset, the concurrency-bearing targets
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +13,14 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S .
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
+
+echo "== bench-smoke: machine-readable bench pipeline =="
+./build/collect_cost --scan=word --capacities=20000 --reps=200 \
+  --json=build/BENCH_collect.json > /dev/null
+./build/fig2_throughput --threads=1,2 --mult=100 --seconds=0.05 \
+  --json=build/BENCH_fig2.json > /dev/null
+python3 scripts/validate_bench_json.py \
+  build/BENCH_collect.json build/BENCH_fig2.json
 
 echo "== ASan/UBSan preset =="
 cmake -B build-asan -S . \

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Validate levelarray-bench-v1 reports: the one checker both the
+bench-smoke tier (scripts/check.sh) and the CI bench-artifacts job run,
+so the schema contract cannot drift between the two copies.
+
+Usage: validate_bench_json.py REPORT.json [REPORT.json ...]
+Exits nonzero if any report fails to parse, misses the schema tag, has
+no runs, or has a run without positive ops_per_sec.
+"""
+import json
+import sys
+
+
+def validate(path: str) -> None:
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert doc["schema"] == "levelarray-bench-v1", (
+        f"{path}: schema is {doc.get('schema')!r}")
+    assert doc["runs"], f"{path}: no runs"
+    for run in doc["runs"]:
+        assert isinstance(run.get("structure"), str), f"{path}: {run}"
+        ops = run["ops_per_sec"]
+        assert ops is not None and ops > 0, f"{path}: ops_per_sec {ops}: {run}"
+    print(f"{path}: ok ({len(doc['runs'])} run(s), ops/s nonzero)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    for report in sys.argv[1:]:
+        validate(report)

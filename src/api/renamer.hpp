@@ -114,6 +114,21 @@ template <typename T>
 inline constexpr bool has_seed_batch_occupancy_v =
     has_seed_batch_occupancy<T>::value;
 
+// Optional geometry surface: the batch partition behind batch_occupancy()
+// (LevelArray's Geometry). Harnesses need it to turn occupancy counts
+// into fill ratios — the stress driver's healing verdict and
+// fig3_healing's per-batch columns both gate on it.
+template <typename T, typename = void>
+struct has_geometry : std::false_type {};
+
+template <typename T>
+struct has_geometry<
+    T, std::void_t<decltype(std::declval<const T&>().geometry())>>
+    : std::true_type {};
+
+template <typename T>
+inline constexpr bool has_geometry_v = has_geometry<T>::value;
+
 // --- RNG dispatch -------------------------------------------------------
 
 // Type tag handed to the callable so it can name the generator type

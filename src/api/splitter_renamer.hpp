@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "arrays/splitter_grid.hpp"
+#include "core/slot_scan.hpp"
 #include "core/types.hpp"
 #include "sync/tas_cell.hpp"
 
@@ -63,7 +64,13 @@ class SplitterRenamer {
     const std::uint64_t id =
         next_id_.fetch_add(1, std::memory_order_relaxed);
     const GetResult result = grid_.get(id);
-    active_[result.name].try_acquire();
+    if (!active_[result.name].try_acquire()) {
+      // The grid's one-shot protocol guarantees distinct names per
+      // process id; a name that is already active means the grid walk
+      // handed out a duplicate, and ignoring it would silently corrupt
+      // occupancy (two holders, one cell).
+      throw std::logic_error("SplitterRenamer: grid issued a held name");
+    }
     return result;
   }
 
@@ -80,13 +87,14 @@ class SplitterRenamer {
   }
 
   std::size_t collect(std::vector<std::uint64_t>& out) const {
+    // Slot 0 is never issued; word-scan the issuable range and shift the
+    // indices back into name space.
     std::size_t found = 0;
-    for (std::uint64_t name = 1; name < name_bound_; ++name) {
-      if (active_[name].held()) {
-        out.push_back(name);
-        ++found;
-      }
-    }
+    core::slot_scan::for_each_held(active_.data() + 1, name_bound_ - 1,
+                                   [&](std::uint64_t offset) {
+                                     out.push_back(offset + 1);
+                                     ++found;
+                                   });
     return found;
   }
 

@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/slot_scan.hpp"
 #include "core/types.hpp"
 #include "rng/rng.hpp"
 
@@ -56,15 +57,11 @@ class BitmapActivityArray {
 
   std::size_t collect(std::vector<std::uint64_t>& out) const {
     std::size_t found = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      std::uint64_t bits = words_[w].load(std::memory_order_relaxed);
-      while (bits != 0) {
-        const auto bit = static_cast<std::uint64_t>(__builtin_ctzll(bits));
-        out.push_back(static_cast<std::uint64_t>(w) * 64 + bit);
-        ++found;
-        bits &= bits - 1;
-      }
-    }
+    core::slot_scan::for_each_set_bit(words_.data(), words_.size(),
+                                      [&](std::uint64_t slot) {
+                                        out.push_back(slot);
+                                        ++found;
+                                      });
     return found;
   }
 

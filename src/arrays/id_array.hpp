@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/slot_scan.hpp"
 #include "core/types.hpp"
 #include "rng/rng.hpp"
 #include "sync/tas_cell.hpp"
@@ -69,15 +70,15 @@ class IdIndexedArray {
     cells_[name].release();
   }
 
-  // Theta(N): must scan the entire id space.
+  // Theta(N): must scan the entire id space — which is exactly why the
+  // 8-slots-per-load engine matters most here.
   std::size_t collect(std::vector<std::uint64_t>& out) const {
     std::size_t found = 0;
-    for (std::uint64_t id = 0; id < cells_.size(); ++id) {
-      if (cells_[id].held()) {
-        out.push_back(id);
-        ++found;
-      }
-    }
+    core::slot_scan::for_each_held(cells_.data(), cells_.size(),
+                                   [&](std::uint64_t id) {
+                                     out.push_back(id);
+                                     ++found;
+                                   });
     return found;
   }
 

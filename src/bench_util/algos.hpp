@@ -17,9 +17,13 @@
 #include <vector>
 
 #include "api/renamer.hpp"
-#include "core/level_array.hpp"
+#include "bench_util/timing.hpp"
 #include "rng/rng.hpp"
 #include "stats/summary.hpp"
+#include "stats/welford.hpp"
+#include "sync/cache.hpp"
+#include "sync/spin_barrier.hpp"
+#include "sync/thread_utils.hpp"
 
 namespace la::bench {
 
@@ -75,9 +79,124 @@ api::RenamerConfig renamer_config(const SweepPoint& point);
 // run the churn workload under point.driver.rng_kind.
 RunResult run_algo(const std::string& name_or_alias, const SweepPoint& point);
 
-// Same workload against a caller-owned persistent LevelArray (longrun
+namespace detail {
+
+struct ThreadOutput {
+  stats::TrialStats trials;
+  std::uint64_t ops = 0;
+  std::uint64_t backup_gets = 0;
+  // The thread's stash of held names lives here so its header shares the
+  // padded cache line with the thread's own counters, not a neighbor's.
+  std::vector<std::uint64_t> held;
+  // Barrier-to-loop-end time, so throughput excludes spawn/join/drain.
+  double seconds_active = 0.0;
+};
+
+// The churn loop proper. Each thread owns a stash of held names (its
+// share of the prefill, plus whatever it registers); every iteration
+// frees one random stashed name and registers a new one — the paper's
+// back-to-back register/deregister pattern at constant load.
+template <typename Array, typename Rng>
+RunResult drive(Array& array, const DriverConfig& d) {
+  const std::uint32_t threads = d.threads == 0 ? 1 : d.threads;
+  const std::uint64_t n = d.emulated_registrants();
+  const bool timed = d.ops_per_thread == 0;
+
+  RunResult result;
+  if (timed && d.seconds <= 0.0) return result;
+
+  std::vector<sync::CachePadded<ThreadOutput>> outputs(threads);
+
+  // Prefill, dealt round-robin into per-thread stashes.
+  double prefill = d.prefill;
+  if (prefill < 0.0) prefill = 0.0;
+  if (prefill > 1.0) prefill = 1.0;
+  const auto target =
+      static_cast<std::uint64_t>(prefill * static_cast<double>(n));
+  {
+    Rng prefill_rng(rng::mix_seed(d.seed, 0xF111u));
+    for (std::uint64_t i = 0; i < target; ++i) {
+      outputs[i % threads]->held.push_back(array.get(prefill_rng).name);
+    }
+  }
+
+  sync::SpinBarrier barrier(threads);
+  {
+    sync::ThreadGroup group;
+    group.spawn(threads, [&](std::uint32_t tid) {
+      Rng rng(rng::mix_seed(d.seed, tid + 1));
+      ThreadOutput& out = *outputs[tid];
+      std::vector<std::uint64_t>& held = out.held;
+      barrier.wait();
+      Stopwatch local;
+      for (std::uint64_t iter = 0;; ++iter) {
+        if (timed) {
+          if ((iter & 63u) == 0 && local.elapsed_seconds() >= d.seconds) break;
+        } else if (out.ops >= d.ops_per_thread) {
+          // ops counts Gets and Frees individually, matching the paper's
+          // "register and unregister operations" accounting.
+          break;
+        }
+        if (!held.empty()) {
+          const std::uint64_t victim = rng::bounded(rng, held.size());
+          array.free(held[victim]);
+          held[victim] = held.back();
+          held.pop_back();
+          ++out.ops;
+        }
+        const GetResult r = array.get(rng);
+        out.trials.record(r.probes);
+        if (r.used_backup) ++out.backup_gets;
+        held.push_back(r.name);
+        ++out.ops;
+      }
+      out.seconds_active = local.elapsed_seconds();
+      // Drain the stash so the array is empty for the next run/chunk.
+      for (const auto name : held) array.free(name);
+      held.clear();
+    });
+  }
+
+  stats::Welford per_thread_worst;
+  for (std::uint32_t tid = 0; tid < threads; ++tid) {
+    const ThreadOutput& out = *outputs[tid];
+    result.trials.merge(out.trials);
+    result.total_ops += out.ops;
+    result.backup_gets += out.backup_gets;
+    per_thread_worst.add(static_cast<double>(out.trials.worst_case()));
+    // Slowest thread's barrier-to-loop-end time: excludes spawn, join,
+    // and the untimed stash drain.
+    if (out.seconds_active > result.elapsed_seconds) {
+      result.elapsed_seconds = out.seconds_active;
+    }
+  }
+  result.mean_per_thread_worst = per_thread_worst.mean();
+  result.throughput_ops_per_sec =
+      result.elapsed_seconds > 0.0
+          ? static_cast<double>(result.total_ops) / result.elapsed_seconds
+          : 0.0;
+  return result;
+}
+
+template <typename Array>
+RunResult drive_with_rng(Array& array, const DriverConfig& d) {
+  return api::with_rng(d.rng_kind, [&](auto tag) {
+    using Rng = typename decltype(tag)::type;
+    return drive<Array, Rng>(array, d);
+  });
+}
+
+}  // namespace detail
+
+// Same workload against a caller-owned persistent structure (longrun
 // accumulates worst-case stats across chunks this way), honoring
-// driver.rng_kind.
-RunResult run_churn(core::LevelArray& array, const DriverConfig& driver);
+// driver.rng_kind. Generic over the Renamer contract — any registered
+// structure (not just the LevelArray) churns under the same driver.
+template <typename Structure>
+RunResult run_churn(Structure& array, const DriverConfig& driver) {
+  static_assert(api::is_renamer_v<Structure>,
+                "run_churn drives the api::Renamer contract");
+  return detail::drive_with_rng(array, driver);
+}
 
 }  // namespace la::bench

@@ -1,0 +1,87 @@
+// Machine-readable bench output: every bench that takes --json=<path>
+// writes one BenchReport — a flat, insertion-ordered JSON document — so
+// the perf trajectory is comparable PR-over-PR (BENCH_*.json at the repo
+// root, CI artifacts) instead of living in scrollback tables.
+//
+// Schema ("levelarray-bench-v1"):
+//   {
+//     "schema": "levelarray-bench-v1",
+//     "bench":  "<driver name>",
+//     "git":    "<git describe --always --dirty, or 'unknown'>",
+//     "runs": [
+//       {
+//         "structure": "<registry key>", "rng": "<rng kind>",
+//         "threads": N, "config": { ...driver-specific knobs... },
+//         "ops_per_sec": X, ...driver-specific measurements...,
+//         "probes": {"operations", "avg", "stddev", "worst", "p99", "p999"}
+//       }, ...
+//     ]
+//   }
+// Drivers own the per-run keys beyond the conventional ones above; the
+// bench-smoke tier (scripts/check.sh) asserts the document parses and
+// every run's ops_per_sec is nonzero.
+//
+// No external JSON dependency: values are rendered on insertion, so the
+// writer is ~100 lines and emits deterministic key order.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace la::bench {
+
+// One JSON object with insertion-ordered keys. Scalars are rendered
+// immediately; nested objects come in via set_object(). A repeated key is
+// a driver bug and throws.
+class JsonObject {
+ public:
+  JsonObject& set(std::string key, std::string_view value);
+  JsonObject& set(std::string key, const char* value);
+  JsonObject& set(std::string key, std::uint64_t value);
+  JsonObject& set(std::string key, std::uint32_t value);
+  JsonObject& set(std::string key, int value);
+  JsonObject& set(std::string key, double value);  // non-finite -> null
+  JsonObject& set(std::string key, bool value);
+  JsonObject& set_object(std::string key, const JsonObject& value);
+
+  std::string render() const;
+
+ private:
+  JsonObject& set_rendered(std::string key, std::string rendered);
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// The conventional "probes" sub-object for a run.
+JsonObject probe_stats_json(const stats::TrialStats& trials);
+
+// `git describe --always --dirty`, cached per process; "unknown" when the
+// bench runs outside a work tree (e.g. from an installed artifact).
+const std::string& git_describe();
+
+// One bench invocation's report: add_run() per measured point, then
+// write_file() once at the end.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  JsonObject& add_run();
+  std::size_t run_count() const { return runs_.size(); }
+
+  std::string render() const;
+  // Returns false (after explaining on err) if the file cannot be
+  // written — benches turn that into a nonzero exit so CI notices.
+  bool write_file(const std::string& path, std::ostream& err) const;
+
+ private:
+  std::string bench_;
+  std::vector<JsonObject> runs_;
+};
+
+}  // namespace la::bench

@@ -42,7 +42,46 @@ inline std::string_view hold_distribution_name(HoldDistribution dist) {
   return "?";
 }
 
-// Draws a hold duration (in iterations, >= 1) with the given mean.
+namespace detail {
+
+// Quantize a positive real duration to an integer, preserving the mean:
+// floor(value) with probability 1 - frac, ceil(value) with probability
+// frac, so E[quantized] = value. Plain round-to-nearest would pin a
+// requested mean of, say, 2.7 to a realized 3.0 (an 11% drift); the
+// dither keeps every distribution's realized mean at the request. Values
+// below 1 clamp to 1 (holds last at least one iteration) — the one
+// remaining bias, negligible once the mean is a few iterations.
+template <typename Rng>
+std::uint64_t dither_to_int(Rng& rng, double value) {
+  if (!(value > 1.0)) return 1;
+  const double whole = std::floor(value);
+  const double frac = value - whole;
+  auto ticks = static_cast<std::uint64_t>(whole);
+  if (frac > 0.0 && rng::canonical(rng) < frac) ++ticks;
+  return ticks;
+}
+
+// Pareto scale x_m, as a fraction of the mean, such that the draw capped
+// at 16*mean realizes exactly the requested mean. For Pareto(alpha, x_m),
+//   E[min(X, c)] = alpha/(alpha-1) * x_m - x_m^alpha * c^(1-alpha) / (alpha-1),
+// so with alpha = 3/2, c = 16*mean and r = x_m/mean the condition
+// E = mean reduces to 3r - r^1.5/2 = 1. The uncapped choice r = 1/3
+// realizes only ~0.904*mean — the cap eats ~10% of the tail mass.
+// Bisection once; f is increasing on [1/3, 1/2].
+inline double pareto_capped_scale() {
+  double lo = 1.0 / 3.0, hi = 0.5;
+  for (int i = 0; i < 60; ++i) {
+    const double r = 0.5 * (lo + hi);
+    (3.0 * r - 0.5 * r * std::sqrt(r) < 1.0 ? lo : hi) = r;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace detail
+
+// Draws a hold duration (in iterations, >= 1) with the given mean. Every
+// case preserves the requested mean (the dithered quantization included);
+// test_hold_times holds all six to within 2% over 1e6 draws.
 template <typename Rng>
 std::uint64_t draw_hold_time(Rng& rng, HoldDistribution dist, double mean) {
   if (mean < 1.0) mean = 1.0;
@@ -51,21 +90,29 @@ std::uint64_t draw_hold_time(Rng& rng, HoldDistribution dist, double mean) {
     case HoldDistribution::kFixed:
       value = mean;
       break;
-    case HoldDistribution::kUniform:
-      // U{1 .. 2*mean - 1}: mean preserved exactly.
-      return 1 + rng::bounded(
-                     rng, static_cast<std::uint64_t>(2.0 * mean) - 1);
+    case HoldDistribution::kUniform: {
+      // U{1 .. w} has mean (w + 1) / 2, so the real-valued width
+      // W = 2*mean - 1 is dithered between floor(W) and ceil(W):
+      // E[(w + 1) / 2] = (W + 1) / 2 = mean for any real mean, where
+      // truncating W (the old code) drifted non-half-integral means
+      // (requested 2.7 realized 3.0).
+      const std::uint64_t width =
+          detail::dither_to_int(rng, 2.0 * mean - 1.0);
+      return 1 + rng::bounded(rng, width);
+    }
     case HoldDistribution::kExponential:
       value = -mean * std::log(1.0 - rng::canonical(rng));
+      // The cap costs e^-50 of the mass — far below measurement noise.
       value = std::min(value, 50.0 * mean);
       break;
     case HoldDistribution::kPareto: {
-      // alpha = 1.5, x_m = mean/3 so the uncapped mean equals `mean`;
-      // capped at 16*mean to keep excursions inside the array headroom.
-      const double alpha = 1.5;
-      const double xm = mean * (alpha - 1.0) / alpha;
+      // alpha = 1.5, x_m chosen so the mean *after* the 16*mean cap
+      // (which keeps excursions inside the array headroom) equals the
+      // request — see pareto_capped_scale for the algebra.
+      static const double scale = detail::pareto_capped_scale();
+      const double xm = mean * scale;
       const double u = 1.0 - rng::canonical(rng);  // (0, 1]
-      value = xm / std::pow(u, 1.0 / alpha);
+      value = xm / std::pow(u, 1.0 / 1.5);
       value = std::min(value, 16.0 * mean);
       break;
     }
@@ -84,8 +131,7 @@ std::uint64_t draw_hold_time(Rng& rng, HoldDistribution dist, double mean) {
       break;
     }
   }
-  const double rounded = std::floor(value + 0.5);
-  return rounded < 1.0 ? 1 : static_cast<std::uint64_t>(rounded);
+  return detail::dither_to_int(rng, value);
 }
 
 }  // namespace la::bench

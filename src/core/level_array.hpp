@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/geometry.hpp"
+#include "core/slot_scan.hpp"
 #include "core/types.hpp"
 #include "rng/rng.hpp"
 #include "sync/tas_cell.hpp"
@@ -60,12 +61,16 @@ class LevelArray {
           }
         }
       }
-      // Backup: deterministic first-fit sweep. With at most n = capacity
-      // names held out of L >= 2n slots this always finds one; the loop
-      // re-enters the randomized phase only under transient races.
+      // Backup: deterministic first-fit sweep, word-scanning to the next
+      // clear slot instead of testing one byte at a time. With at most
+      // n = capacity names held out of L >= 2n slots this always finds
+      // one; the loop re-enters the randomized phase only under
+      // transient races.
       result.used_backup = true;
       for (std::uint64_t slot = 0; slot < slots_.size(); ++slot) {
-        if (slots_[slot].held()) continue;
+        slot += slot_scan::find_first_clear(slots_.data() + slot,
+                                            slots_.size() - slot);
+        if (slot >= slots_.size()) break;
         if (slots_[slot].try_acquire()) {
           result.name = slot;
           return result;
@@ -89,15 +94,27 @@ class LevelArray {
 
   // Appends the names of all held slots to out; returns how many were
   // found. Theta(L) by design — the dense byte layout is what makes this
-  // a sequential cache-friendly scan.
+  // a sequential cache-friendly scan, and the word engine reads 8 slots
+  // per load (racy-snapshot semantics, see core/slot_scan.hpp).
   std::size_t collect(std::vector<std::uint64_t>& out) const {
     std::size_t found = 0;
-    for (std::uint64_t slot = 0; slot < slots_.size(); ++slot) {
-      if (slots_[slot].held()) {
-        out.push_back(slot);
-        ++found;
-      }
-    }
+    slot_scan::for_each_held(slots_.data(), slots_.size(),
+                             [&](std::uint64_t slot) {
+                               out.push_back(slot);
+                               ++found;
+                             });
+    return found;
+  }
+
+  // Per-byte reference collect, kept as the collect_cost --scan=byte
+  // ablation baseline and the oracle the parity tests compare against.
+  std::size_t collect_bytewise(std::vector<std::uint64_t>& out) const {
+    std::size_t found = 0;
+    slot_scan::for_each_held_bytewise(slots_.data(), slots_.size(),
+                                      [&](std::uint64_t slot) {
+                                        out.push_back(slot);
+                                        ++found;
+                                      });
     return found;
   }
 
@@ -114,14 +131,14 @@ class LevelArray {
     return pv[i] == 0 ? 1 : pv[i];
   }
 
-  // Occupied-slot count per batch (racy snapshot under concurrency).
+  // Occupied-slot count per batch (racy snapshot under concurrency),
+  // word-counted per batch range.
   std::vector<std::uint64_t> batch_occupancy() const {
     std::vector<std::uint64_t> occupancy(geometry_.num_batches(), 0);
     for (std::uint32_t k = 0; k < geometry_.num_batches(); ++k) {
       const Batch& batch = geometry_.batch(k);
-      for (std::uint64_t s = batch.offset(); s < batch.end(); ++s) {
-        if (slots_[s].held()) ++occupancy[k];
-      }
+      occupancy[k] =
+          slot_scan::count_held(slots_.data() + batch.offset(), batch.size());
     }
     return occupancy;
   }

@@ -170,6 +170,15 @@ inline std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
 
 enum class RngKind { kMarsaglia, kLehmer, kPcg32 };
 
+inline const char* rng_kind_name(RngKind kind) {
+  switch (kind) {
+    case RngKind::kMarsaglia: return "marsaglia";
+    case RngKind::kLehmer: return "lehmer";
+    case RngKind::kPcg32: return "pcg32";
+  }
+  return "?";
+}
+
 inline RngKind parse_rng_kind(const std::string& name) {
   if (name == "marsaglia" || name == "xorshift") return RngKind::kMarsaglia;
   if (name == "lehmer" || name == "park-miller" || name == "parkmiller") {

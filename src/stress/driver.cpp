@@ -29,16 +29,6 @@ constexpr std::uint64_t kMinCheckedBatchSlots = 16;
 // steady state and comfortably below "jammed".
 constexpr double kMaxDeepBatchFill = 0.85;
 
-// Batch sizes are needed to turn occupancy counts into fill ratios; only
-// structures exposing their geometry (the LevelArray) can provide them.
-template <typename T, typename = void>
-struct has_geometry : std::false_type {};
-
-template <typename T>
-struct has_geometry<
-    T, std::void_t<decltype(std::declval<const T&>().geometry())>>
-    : std::true_type {};
-
 // One name held by the zipf scenario, due back at `expires` (in the
 // owning thread's iteration count).
 struct TimedHold {
@@ -310,7 +300,7 @@ std::uint64_t run_healing_window(Array& array, Rng& rng, EpochClock& clock,
   // compare against, so only the occupancy snapshot is reported.
   const auto occupancy = array.batch_occupancy();
   double max_fill = 0.0;
-  if constexpr (has_geometry<Array>::value) {
+  if constexpr (api::has_geometry_v<Array>) {
     for (std::size_t k = 1; k < occupancy.size(); ++k) {
       const auto size =
           array.geometry().batch(static_cast<std::uint32_t>(k)).size();
