@@ -1,0 +1,152 @@
+// scaling_sweep — thread-scaling of the scale layer: Get+Free throughput
+// vs thread count, sharded variants against their flat base structures,
+// under the Figure 2 churn workload (N = mult * threads registrants,
+// L = 2N slots per structure, 50% prefill, timed windows).
+//
+// The claim under test: the ShardedRenamer's thread-affine shards and
+// per-thread free-name caches keep the churn hot path off shared state,
+// so ops/s holds up (or grows) with threads where the flat structures
+// serialize on the one array. The committed BENCH_scaling.json snapshot
+// is regenerated with:
+//
+//   scaling_sweep --threads=1,2,4,8 --json=BENCH_scaling.json
+//
+// and scripts/validate_bench_json.py --scaling-gate=8 asserts the
+// sharded:level run is at least as fast as the flat level run at 8
+// threads — the acceptance bar for the scale layer, machine-checked.
+#include <iostream>
+#include <map>
+
+#include "bench_util/algos.hpp"
+#include "bench_util/options.hpp"
+#include "bench_util/report.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+void print_usage() {
+  std::cout <<
+      "scaling_sweep: ops/s vs threads, sharded vs flat\n"
+      "  --threads=1,2,4,8   thread counts to sweep\n"
+      "  --seconds=0.5       measurement window per point\n"
+      "  --mult=200000       emulated registrants per thread (N = mult*n);\n"
+      "                      the default is deliberately production-scale —\n"
+      "                      cold random probes vs hot cached names is the\n"
+      "                      regime the scale layer exists for\n"
+      "  --prefill=0.5       pre-fill fraction\n"
+      "  --size-factor=2.0   L = size-factor * N (per structure)\n"
+      "  --algo=level,sharded:level   structures to sweep (any registered\n"
+      "                      name/alias; 'all' = every registered structure)\n"
+      "  --shards=8          shard count S for the sharded variants\n"
+      "  --cache=16          per-thread free-name cache capacity (0 = off)\n"
+      "  --rng=marsaglia     probe RNG (marsaglia | lehmer | pcg32)\n"
+      "  --seed=42           base RNG seed\n"
+      "  --json=<path>       also write the machine-readable report\n"
+      "  --csv               emit CSV instead of a table\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace la;
+  bench::Options opts(argc, argv);
+  if (opts.has("help")) {
+    print_usage();
+    return 0;
+  }
+
+  const auto threads = opts.get_uint_list("threads", {1, 2, 4, 8});
+  const double seconds = opts.get_double("seconds", 0.5);
+  const auto mult = opts.get_uint("mult", 200000);
+  const double prefill = opts.get_double("prefill", 0.5);
+  const double size_factor = opts.get_double("size-factor", 2.0);
+  const auto algos = bench::expand_algos(
+      opts.get_string_list("algo", {"level", "sharded:level"}));
+  const auto shards =
+      static_cast<std::uint32_t>(opts.get_uint("shards", 8));
+  const auto cache = static_cast<std::uint32_t>(opts.get_uint("cache", 16));
+  const auto rng_kind =
+      rng::parse_rng_kind(opts.get_string("rng", "marsaglia"));
+  const auto seed = opts.get_uint("seed", 42);
+  const std::string json_path = opts.get_string("json", "");
+
+  std::cout << "# scaling_sweep: Get+Free ops/s vs threads ("
+            << seconds << " s windows)\n"
+            << "# N = " << mult << " * threads, L = " << size_factor
+            << " * N, prefill = " << prefill << ", shards = " << shards
+            << ", cache = " << cache << "\n";
+
+  // ops/s of the first swept structure at each thread count — the
+  // speedup column's baseline (by default: flat level).
+  std::map<std::uint64_t, double> baseline;
+
+  bench::BenchReport report("scaling_sweep");
+  stats::Table table(
+      {"algo", "threads", "N", "ops", "ops_per_sec", "vs_first"});
+  for (const auto& algo : algos) {
+    for (const auto n : threads) {
+      bench::SweepPoint point;
+      point.driver.threads = static_cast<std::uint32_t>(n);
+      point.driver.emulation_multiplier = mult;
+      point.driver.prefill = prefill;
+      point.driver.ops_per_thread = 0;
+      point.driver.seconds = seconds;
+      point.driver.seed = seed;
+      point.driver.rng_kind = rng_kind;
+      point.size_factor = size_factor;
+      point.shards = shards;
+      point.name_cache_capacity = cache;
+      bench::RunResult result;
+      try {
+        result = bench::run_algo(algo, point);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "warning: skipping " << algo << ": " << e.what() << "\n";
+        continue;
+      }
+      if (baseline.find(n) == baseline.end()) {
+        baseline[n] = result.throughput_ops_per_sec;
+      }
+      const double vs_first = baseline[n] > 0.0
+                                  ? result.throughput_ops_per_sec / baseline[n]
+                                  : 0.0;
+      table.add_row({std::string(bench::algo_name(algo)), n,
+                     point.driver.emulated_registrants(), result.total_ops,
+                     result.throughput_ops_per_sec, vs_first});
+      report.add_run()
+          .set("structure", algo)
+          .set("rng", rng::rng_kind_name(rng_kind))
+          .set("threads", n)
+          .set_object("config",
+                      bench::JsonObject()
+                          .set("mult", mult)
+                          .set("registrants",
+                               point.driver.emulated_registrants())
+                          .set("size_factor", size_factor)
+                          .set("prefill", prefill)
+                          .set("seconds", seconds)
+                          .set("seed", seed)
+                          .set("shards", shards)
+                          .set("cache", cache))
+          .set("ops_per_sec", result.throughput_ops_per_sec)
+          .set("total_ops", result.total_ops)
+          .set("elapsed_seconds", result.elapsed_seconds)
+          .set("backup_gets", result.backup_gets)
+          .set("speedup_vs_first", vs_first)
+          .set_object("probes", bench::probe_stats_json(result.trials));
+    }
+  }
+  if (opts.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+
+  if (!json_path.empty() && !report.write_file(json_path, std::cerr)) {
+    return 1;
+  }
+
+  for (const auto& key : opts.unused_keys()) {
+    std::cerr << "warning: unused flag --" << key << "\n";
+  }
+  return 0;
+}

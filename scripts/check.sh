@@ -1,45 +1,100 @@
 #!/usr/bin/env bash
-# Full verification, tier by tier (see README "Testing tiers"):
-#   1. tier-1 build + ctest (unit, conformance, stress matrix, smokes)
-#   2. bench-smoke: the --json pipeline emits parseable, nonzero reports
+# Tiered verification (see README "Testing tiers"). With no argument,
+# every tier runs in order:
+#   1. tier-1 build + full ctest (unit + stress + smoke labels)
+#   2. bench-smoke: the --json pipeline emits parseable, nonzero reports,
+#      and the committed scaling gate holds at a smoke-sized config
 #   3. AddressSanitizer/UBSan preset, same suite
 #   4. ThreadSanitizer preset, the concurrency-bearing targets
+#
+# A single argument runs one tier against the tier-1 build:
+#   scripts/check.sh unit     # fast single-process tests only (ctest -L)
+#   scripts/check.sh stress   # real-thread suites
+#   scripts/check.sh smoke    # second-scale bench driver sweeps
+#   scripts/check.sh bench-smoke | asan | tsan
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+TIER="${1:-all}"
 
-echo "== tier-1: configure + build + ctest =="
-cmake -B build -S .
-cmake --build build -j "${JOBS}"
-(cd build && ctest --output-on-failure -j "${JOBS}")
+build_tier1() {
+  cmake -B build -S .
+  cmake --build build -j "${JOBS}"
+}
 
-echo "== bench-smoke: machine-readable bench pipeline =="
-./build/collect_cost --scan=word --capacities=20000 --reps=200 \
-  --json=build/BENCH_collect.json > /dev/null
-./build/fig2_throughput --threads=1,2 --mult=100 --seconds=0.05 \
-  --json=build/BENCH_fig2.json > /dev/null
-python3 scripts/validate_bench_json.py \
-  build/BENCH_collect.json build/BENCH_fig2.json
+run_bench_smoke() {
+  echo "== bench-smoke: machine-readable bench pipeline =="
+  ./build/collect_cost --scan=word --capacities=20000 --reps=200 \
+    --json=build/BENCH_collect.json > /dev/null
+  ./build/fig2_throughput --threads=1,2 --mult=100 --seconds=0.05 \
+    --json=build/BENCH_fig2.json > /dev/null
+  ./build/scaling_sweep --threads=1,2 --mult=2000 --seconds=0.05 \
+    --json=build/BENCH_scaling.json > /dev/null
+  python3 scripts/validate_bench_json.py \
+    build/BENCH_collect.json build/BENCH_fig2.json build/BENCH_scaling.json
+  # The scale-layer acceptance bar on the *committed* snapshot (the
+  # sharded win is a production-scale locality property — regenerate
+  # with `scaling_sweep --json=BENCH_scaling.json`, defaults are the
+  # production-scale config): sharded:level >= flat level at 8 threads.
+  python3 scripts/validate_bench_json.py --scaling-gate=8 BENCH_scaling.json
+}
 
-echo "== ASan/UBSan preset =="
-cmake -B build-asan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build build-asan -j "${JOBS}"
-(cd build-asan && ctest --output-on-failure)
+run_asan() {
+  echo "== ASan/UBSan preset =="
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build build-asan -j "${JOBS}"
+  (cd build-asan && ctest --output-on-failure)
+}
 
-echo "== TSan preset: stress matrix under real-thread races =="
-cmake -B build-tsan -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
-  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "${JOBS}" \
-  --target test_stress_matrix test_renamer_contract stress_runner
-./build-tsan/test_renamer_contract
-./build-tsan/test_stress_matrix
-./build-tsan/stress_runner --structure=all --scenario=all --threads=8 \
-  --ops=2000
+run_tsan() {
+  echo "== TSan preset: stress + collect-race under real-thread races =="
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j "${JOBS}" \
+    --target test_stress_matrix test_renamer_contract test_collect_race \
+             test_model_fuzz stress_runner
+  ./build-tsan/test_renamer_contract
+  ./build-tsan/test_collect_race
+  ./build-tsan/test_model_fuzz --structure=sharded:level --seed=20260727
+  ./build-tsan/test_stress_matrix
+  ./build-tsan/stress_runner --structure=all --scenario=all --threads=8 \
+    --ops=2000
+}
 
-echo "check.sh: all green"
+case "${TIER}" in
+  unit|stress|smoke)
+    build_tier1
+    echo "== tier: ctest -L ${TIER} =="
+    (cd build && ctest --output-on-failure -j "${JOBS}" -L "${TIER}")
+    ;;
+  bench-smoke)
+    build_tier1
+    run_bench_smoke
+    ;;
+  asan)
+    run_asan
+    ;;
+  tsan)
+    run_tsan
+    ;;
+  all)
+    echo "== tier-1: configure + build + ctest =="
+    build_tier1
+    (cd build && ctest --output-on-failure -j "${JOBS}")
+    run_bench_smoke
+    run_asan
+    run_tsan
+    ;;
+  *)
+    echo "usage: $0 [unit|stress|smoke|bench-smoke|asan|tsan]" >&2
+    exit 2
+    ;;
+esac
+
+echo "check.sh: ${TIER} green"

@@ -3,15 +3,20 @@
 bench-smoke tier (scripts/check.sh) and the CI bench-artifacts job run,
 so the schema contract cannot drift between the two copies.
 
-Usage: validate_bench_json.py REPORT.json [REPORT.json ...]
+Usage: validate_bench_json.py [--scaling-gate=T] REPORT.json [...]
 Exits nonzero if any report fails to parse, misses the schema tag, has
 no runs, or has a run without positive ops_per_sec.
+
+--scaling-gate=T additionally asserts the scale-layer acceptance bar on
+the given reports: at thread count T, the sharded:level run must be at
+least as fast as the flat level run (the claim BENCH_scaling.json
+commits to).
 """
 import json
 import sys
 
 
-def validate(path: str) -> None:
+def validate(path: str) -> dict:
     with open(path) as fh:
         doc = json.load(fh)
     assert doc["schema"] == "levelarray-bench-v1", (
@@ -22,10 +27,38 @@ def validate(path: str) -> None:
         ops = run["ops_per_sec"]
         assert ops is not None and ops > 0, f"{path}: ops_per_sec {ops}: {run}"
     print(f"{path}: ok ({len(doc['runs'])} run(s), ops/s nonzero)")
+    return doc
+
+
+def check_scaling_gate(path: str, doc: dict, threads: int) -> None:
+    ops = {}
+    for run in doc["runs"]:
+        if run.get("threads") == threads:
+            ops[run["structure"]] = run["ops_per_sec"]
+    assert "level" in ops and "sharded:level" in ops, (
+        f"{path}: --scaling-gate={threads} needs level and sharded:level "
+        f"runs at {threads} threads (have {sorted(ops)})")
+    assert ops["sharded:level"] >= ops["level"], (
+        f"{path}: sharded:level ({ops['sharded:level']:.0f} ops/s) is "
+        f"slower than level ({ops['level']:.0f} ops/s) at {threads} threads")
+    print(f"{path}: scaling gate ok (sharded:level "
+          f"{ops['sharded:level'] / ops['level']:.2f}x level "
+          f"at {threads} threads)")
 
 
 if __name__ == "__main__":
-    if len(sys.argv) < 2:
+    gate = None
+    reports = []
+    for arg in sys.argv[1:]:
+        if arg.startswith("--scaling-gate="):
+            gate = int(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            sys.exit(f"unknown flag {arg}\n\n{__doc__}")
+        else:
+            reports.append(arg)
+    if not reports:
         sys.exit(__doc__)
-    for report in sys.argv[1:]:
-        validate(report)
+    for report in reports:
+        parsed = validate(report)
+        if gate is not None:
+            check_scaling_gate(report, parsed, gate)

@@ -3,19 +3,26 @@
 // a generic callable on it.
 //
 // Each entry is a small factory struct: a canonical name, display label,
-// aliases, a one-line summary, and with(config, fn) which constructs the
-// structure on the stack and calls fn(structure&). visit() resolves a
-// name-or-alias and walks the compile-time entry list — so dispatch costs
-// one string compare per entry, after which the callable is instantiated
-// against the concrete type and the inner loop is fully monomorphic (no
-// virtual calls, same codegen as naming the type directly). Adding a
-// structure = one entry struct + one line in the Entries tuple; the
-// runtime metadata (registered_structures, accepted-name lists, error
-// messages) is generated from the same tuple, so it cannot drift.
+// aliases, a one-line summary, a concrete `Structure` type, and
+// make(config) -> unique_ptr<Structure>. visit() resolves a name-or-alias
+// and walks the compile-time entry list — so dispatch costs one string
+// compare per entry, after which the callable is instantiated against
+// the concrete type and the inner loop is fully monomorphic (no virtual
+// calls, same codegen as naming the type directly). Adding a structure =
+// one entry struct + one line in the Entries tuple; the runtime metadata
+// (registered_structures, accepted-name lists, error messages) is
+// generated from the same tuple, so it cannot drift.
+//
+// The scale layer is registered generically: ShardedEntry<Base> wraps
+// any flat entry as `sharded:<name>` (ShardedRenamer over S instances of
+// the base structure, each holding ceil(capacity / S) of the contention
+// bound), so every bench, the stress matrix, the model fuzz suite, and
+// the sim executor cover the sharded variants with no per-harness code.
 #pragma once
 
 #include <array>
 #include <cstddef>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -31,6 +38,7 @@
 #include "arrays/random_array.hpp"
 #include "arrays/sequential_scan_array.hpp"
 #include "core/level_array.hpp"
+#include "scale/sharded.hpp"
 
 namespace la::api {
 
@@ -52,6 +60,15 @@ std::string accepted_names_text();
 
 namespace detail {
 
+// How visit_at() runs a callable against an entry: build via the
+// entry's make() and hand the reference over. The structure lives for
+// the duration of the call — entries only provide metadata + make().
+template <typename Entry, typename Fn>
+decltype(auto) with_made(const RenamerConfig& c, Fn&& fn) {
+  auto array = Entry::make(c);
+  return fn(*array);
+}
+
 struct LevelEntry {
   static constexpr std::string_view kName = "level";
   static constexpr std::string_view kLabel = "LevelArray";
@@ -59,16 +76,15 @@ struct LevelEntry {
   static constexpr std::string_view kSummary =
       "the paper's algorithm: doubly-exponential batches over L = 2n TAS "
       "slots";
-  template <typename Fn>
-  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
+  using Structure = core::LevelArray;
+  static std::unique_ptr<Structure> make(const RenamerConfig& c) {
     core::LevelArrayConfig config;
     config.capacity = c.capacity;
     config.size_multiplier = c.size_factor;
     if (!c.probes_per_batch.empty()) {
       config.probes_per_batch = c.probes_per_batch;
     }
-    core::LevelArray array(config);
-    return fn(array);
+    return std::make_unique<Structure>(config);
   }
 };
 
@@ -78,10 +94,9 @@ struct RandomEntry {
   static constexpr std::array<std::string_view, 1> kAliases = {"randomarray"};
   static constexpr std::string_view kSummary =
       "uniform random probes over the whole array (comparison #1)";
-  template <typename Fn>
-  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
-    arrays::RandomArray array(c.total_slots(), c.capacity);
-    return fn(array);
+  using Structure = arrays::RandomArray;
+  static std::unique_ptr<Structure> make(const RenamerConfig& c) {
+    return std::make_unique<Structure>(c.total_slots(), c.capacity);
   }
 };
 
@@ -92,10 +107,9 @@ struct LinearEntry {
       {"linearprobing"};
   static constexpr std::string_view kSummary =
       "random start then sequential scan (comparison #2)";
-  template <typename Fn>
-  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
-    arrays::LinearProbingArray array(c.total_slots(), c.capacity);
-    return fn(array);
+  using Structure = arrays::LinearProbingArray;
+  static std::unique_ptr<Structure> make(const RenamerConfig& c) {
+    return std::make_unique<Structure>(c.total_slots(), c.capacity);
   }
 };
 
@@ -106,10 +120,9 @@ struct SequentialEntry {
       {"sequential", "sequentialscan"};
   static constexpr std::string_view kSummary =
       "deterministic first-fit scan from slot 0 (strawman)";
-  template <typename Fn>
-  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
-    arrays::SequentialScanArray array(c.total_slots(), c.capacity);
-    return fn(array);
+  using Structure = arrays::SequentialScanArray;
+  static std::unique_ptr<Structure> make(const RenamerConfig& c) {
+    return std::make_unique<Structure>(c.total_slots(), c.capacity);
   }
 };
 
@@ -120,10 +133,9 @@ struct BitmapEntry {
       {"bitmaparray", "bit"};
   static constexpr std::string_view kSummary =
       "bit-per-slot layout ablation: random probing over packed words";
-  template <typename Fn>
-  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
-    arrays::BitmapActivityArray array(c.total_slots(), c.capacity);
-    return fn(array);
+  using Structure = arrays::BitmapActivityArray;
+  static std::unique_ptr<Structure> make(const RenamerConfig& c) {
+    return std::make_unique<Structure>(c.total_slots(), c.capacity);
   }
 };
 
@@ -134,10 +146,9 @@ struct IdEntry {
       {"idindexed", "idarray"};
   static constexpr std::string_view kSummary =
       "footnote-1 strawman: array indexed by id, sized by the id space N";
-  template <typename Fn>
-  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
-    arrays::IdIndexedArray array(c.id_space(), c.capacity);
-    return fn(array);
+  using Structure = arrays::IdIndexedArray;
+  static std::unique_ptr<Structure> make(const RenamerConfig& c) {
+    return std::make_unique<Structure>(c.id_space(), c.capacity);
   }
 };
 
@@ -149,16 +160,65 @@ struct SplitterEntry {
   static constexpr std::string_view kSummary =
       "deterministic Moir-Anderson splitter grid behind the long-lived "
       "recycling facade";
-  template <typename Fn>
-  static decltype(auto) with(const RenamerConfig& c, Fn&& fn) {
-    SplitterRenamer array(c.capacity);
-    return fn(array);
+  using Structure = SplitterRenamer;
+  static std::unique_ptr<Structure> make(const RenamerConfig& c) {
+    return std::make_unique<Structure>(c.capacity);
   }
 };
 
-using Entries = std::tuple<LevelEntry, RandomEntry, LinearEntry,
-                           SequentialEntry, BitmapEntry, IdEntry,
-                           SplitterEntry>;
+// --- sharded variants ---------------------------------------------------
+
+// Compile-time "prefix + base name" so the sharded entries' registry keys
+// live in static storage like every hand-written kName.
+template <std::size_t N>
+struct NameBuffer {
+  char data[N] = {};
+  std::size_t len = 0;
+  constexpr std::string_view view() const { return {data, len}; }
+};
+
+template <std::size_t N>
+constexpr NameBuffer<N> concat_names(std::string_view a, std::string_view b) {
+  NameBuffer<N> out{};
+  for (const char c : a) out.data[out.len++] = c;
+  for (const char c : b) out.data[out.len++] = c;
+  return out;
+}
+
+template <typename Base>
+struct ShardedEntry {
+  static constexpr auto kNameBuf = concat_names<24>("sharded:", Base::kName);
+  static constexpr std::string_view kName = kNameBuf.view();
+  static constexpr auto kLabelBuf = concat_names<32>("Sharded/", Base::kLabel);
+  static constexpr std::string_view kLabel = kLabelBuf.view();
+  static constexpr auto kAliasBuf = concat_names<24>("sharded-", Base::kName);
+  static constexpr std::array<std::string_view, 1> kAliases = {
+      kAliasBuf.view()};
+  static constexpr std::string_view kSummary =
+      "scale layer: thread-affine shards of the base structure with "
+      "per-thread free-name caches";
+  using Structure = scale::ShardedRenamer<typename Base::Structure>;
+
+  static std::unique_ptr<Structure> make(const RenamerConfig& c) {
+    scale::ShardedConfig sharded;
+    sharded.shards = c.shards == 0 ? 1 : c.shards;
+    sharded.cache_capacity = c.name_cache_capacity;
+    RenamerConfig inner = c;
+    inner.capacity =
+        (c.capacity + sharded.shards - 1) / sharded.shards;
+    if (inner.capacity == 0) inner.capacity = 1;
+    return std::make_unique<Structure>(
+        sharded, [&inner](std::uint32_t) { return Base::make(inner); });
+  }
+};
+
+using Entries =
+    std::tuple<LevelEntry, RandomEntry, LinearEntry, SequentialEntry,
+               BitmapEntry, IdEntry, SplitterEntry,
+               ShardedEntry<LevelEntry>, ShardedEntry<RandomEntry>,
+               ShardedEntry<LinearEntry>, ShardedEntry<SequentialEntry>,
+               ShardedEntry<BitmapEntry>, ShardedEntry<IdEntry>,
+               ShardedEntry<SplitterEntry>>;
 
 inline constexpr std::size_t kEntryCount = std::tuple_size_v<Entries>;
 
@@ -170,6 +230,14 @@ static_assert(is_renamer_v<arrays::SequentialScanArray>);
 static_assert(is_renamer_v<arrays::BitmapActivityArray>);
 static_assert(is_renamer_v<arrays::IdIndexedArray>);
 static_assert(is_renamer_v<SplitterRenamer>);
+static_assert(is_renamer_v<scale::ShardedRenamer<core::LevelArray>>);
+static_assert(is_renamer_v<scale::ShardedRenamer<arrays::RandomArray>>);
+static_assert(is_renamer_v<scale::ShardedRenamer<SplitterRenamer>>);
+// The sharded wrapper must not accidentally expose the batch-occupancy
+// surfaces — per-shard batches are not the paper's Fig. 3 object, and the
+// harnesses would otherwise compute nonsense balance metrics on it.
+static_assert(!has_batch_occupancy_v<scale::ShardedRenamer<core::LevelArray>>);
+static_assert(!has_geometry_v<scale::ShardedRenamer<core::LevelArray>>);
 
 // The callable's result type must not depend on the structure; anchor the
 // deduction on the first entry's type.
@@ -182,7 +250,7 @@ VisitResult<Fn> visit_at(std::string_view canonical, const RenamerConfig& cfg,
   if constexpr (I < kEntryCount) {
     using Entry = std::tuple_element_t<I, Entries>;
     if (canonical == Entry::kName) {
-      return Entry::with(cfg, std::forward<Fn>(fn));
+      return with_made<Entry>(cfg, std::forward<Fn>(fn));
     }
     return visit_at<I + 1>(canonical, cfg, std::forward<Fn>(fn));
   } else {

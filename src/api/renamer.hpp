@@ -49,6 +49,11 @@ struct RenamerConfig {
   // deliberately larger than L, which is footnote 1's trade (trivial Get,
   // Theta(N) Collect and memory).
   double id_space_factor = 16.0;
+  // sharded:* variants only: shard count S (each shard gets
+  // ceil(capacity / S) of the contention bound) and the per-thread
+  // free-name cache capacity (0 disables the cache; affinity remains).
+  std::uint32_t shards = 8;
+  std::uint32_t name_cache_capacity = 16;
 
   // Both sizes go through core::scaled_slots, which rejects NaN/negative
   // factors and products past 2^53 instead of hitting the UB of an

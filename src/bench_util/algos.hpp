@@ -49,6 +49,9 @@ struct SweepPoint {
   DriverConfig driver;
   double size_factor = 2.0;                    // L = size_factor * N
   std::vector<std::uint8_t> probes_per_batch;  // empty = LevelArray default
+  // sharded:* variants only (see api::RenamerConfig).
+  std::uint32_t shards = 8;
+  std::uint32_t name_cache_capacity = 16;
 };
 
 struct RunResult {

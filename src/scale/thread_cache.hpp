@@ -1,0 +1,94 @@
+// Thread-to-cache attachment registry for the scale layer.
+//
+// A ShardedRenamer owns a fixed table of per-thread name-cache slots; the
+// piece that cannot live inside the (templated) structure is the mapping
+// from "this OS thread" to "my slot in that instance", and the guarantee
+// that a thread's parked names are flushed back when the thread exits.
+// Both lifetimes occur in practice: worker threads join before the
+// structure is destroyed (bench/stress harnesses), and the main thread
+// outlives stack-constructed structures. This registry handles both:
+//
+//   * each instance publishes one heap-allocated CacheControl holding an
+//     atomic owner pointer and a type-erased flush callback;
+//   * each thread keeps a thread_local list of (control, slot) pairs;
+//   * on thread exit the list's destructor flushes every attachment whose
+//     owner is still alive;
+//   * on instance destruction the owner pointer is nulled, so a later
+//     thread exit skips it — the shared_ptr keeps the control block's
+//     memory valid either way, so there is no dangling dereference.
+//
+// Destroying an instance while other threads are still calling into it is
+// (as everywhere in this library) undefined; the registry only has to be
+// safe for the join-then-destroy and destroy-then-main-exit orders.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace la::scale {
+
+struct CacheControl {
+  // The owning structure, or nullptr once it has been destroyed. The
+  // thread-exit hook loads this before flushing.
+  std::atomic<void*> owner{nullptr};
+  // Type-erased "flush and release cache slot `slot` of `owner`".
+  void (*flush)(void* owner, std::uint32_t slot) = nullptr;
+};
+
+class ThreadAttachments {
+ public:
+  // find() result when this thread has never touched the instance.
+  static constexpr std::uint32_t kNotAttached = 0xFFFFFFFFu;
+  // Recorded slot when the instance had no cache slot left (the thread
+  // runs uncached); remembered so the claim is not retried on every op.
+  static constexpr std::uint32_t kNoCache = 0xFFFFFFFEu;
+
+  static ThreadAttachments& current() {
+    static thread_local ThreadAttachments self;
+    return self;
+  }
+
+  std::uint32_t find(const CacheControl* control) const {
+    for (const auto& entry : entries_) {
+      if (entry.control.get() == control) return entry.slot;
+    }
+    return kNotAttached;
+  }
+
+  void attach(std::shared_ptr<CacheControl> control, std::uint32_t slot) {
+    // Prune attachments whose instance is gone — long-lived threads (the
+    // main thread, test loops) would otherwise accumulate one dead entry
+    // per structure they ever touched.
+    for (std::size_t i = 0; i < entries_.size();) {
+      if (entries_[i].control->owner.load(std::memory_order_acquire) ==
+          nullptr) {
+        entries_[i] = std::move(entries_.back());
+        entries_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    entries_.push_back(Entry{std::move(control), slot});
+  }
+
+  ~ThreadAttachments() {
+    for (const auto& entry : entries_) {
+      if (entry.slot == kNoCache) continue;
+      void* owner = entry.control->owner.load(std::memory_order_acquire);
+      if (owner != nullptr) entry.control->flush(owner, entry.slot);
+    }
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<CacheControl> control;
+    std::uint32_t slot = 0;
+  };
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace la::scale

@@ -1,0 +1,47 @@
+// SpinLock — one-word test-and-set mutex for tiny critical sections that
+// are uncontended in the common case (a thread locking its own per-thread
+// name cache). The uncontended path is a single exchange; contention
+// falls back to the shared pause-then-yield Backoff so an oversubscribed
+// host does not burn a timeslice spinning against a preempted owner.
+#pragma once
+
+#include <atomic>
+
+#include "sync/spin_barrier.hpp"
+
+namespace la::sync {
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    if (!locked_.exchange(true, std::memory_order_acquire)) return;
+    Backoff backoff;
+    do {
+      while (locked_.load(std::memory_order_relaxed)) backoff.pause();
+    } while (locked_.exchange(true, std::memory_order_acquire));
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// Scoped lock for SpinLock (std::lock_guard works too; this avoids the
+// <mutex> include in hot-path headers).
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.lock(); }
+  ~SpinLockGuard() { lock_.unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace la::sync

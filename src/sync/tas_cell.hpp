@@ -24,6 +24,13 @@ class TasCell {
 
   void release() { flag_.store(0, std::memory_order_release); }
 
+  // Non-RMW transition to held, for callers that already own exclusivity
+  // over the cell through another synchronization edge (the scale layer's
+  // held-bitmap: a name reaches its granter via a per-thread cache bin or
+  // an inner TAS, so two threads can never race to mark the same cell).
+  // Checking held() first stays the caller's job.
+  void mark_held() { flag_.store(1, std::memory_order_release); }
+
   bool held() const { return flag_.load(std::memory_order_relaxed) != 0; }
 
  private:

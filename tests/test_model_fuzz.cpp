@@ -1,0 +1,355 @@
+// Model-checked fuzz suite: seeded randomized Get/Free/Collect traces
+// replayed against a std::set-based reference model, for every structure
+// in the registry — the admission test any new layer must pass before
+// registration (the sharded variants' cache-drain-vs-collect interaction
+// is exactly the kind of bug it exists to break).
+//
+// Two modes per structure:
+//
+//   * sequential: one thread drives a random op mix (Get / Free of a
+//     random held name / Collect / deliberate double-free and
+//     out-of-range-free probes) and after every step the structure must
+//     agree with the model exactly;
+//   * phased-concurrent: worker threads run random Get/Free rounds
+//     against private models with a collect() audit at every quiescent
+//     barrier — cross-thread uniqueness falls out of the audit (a name
+//     in two models would collide in the union), and for the sharded
+//     variants the audit's cache drain runs against freshly parked
+//     names round after round.
+//
+// Failures reproduce in one command: every FAIL prints the structure,
+// seed, and step count, plus the tail of the operation trace, and the
+// binary accepts --structure= / --seed= / --steps= to replay exactly
+// that trace:
+//
+//   ./test_model_fuzz --structure=sharded:level --seed=20260727 --steps=4000
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "bench_util/options.hpp"
+#include "rng/rng.hpp"
+#include "sync/spin_barrier.hpp"
+#include "sync/thread_utils.hpp"
+
+namespace {
+
+int failures = 0;
+
+struct FuzzCase {
+  std::string structure;
+  std::uint64_t seed = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t capacity = 0;
+};
+
+// Ring buffer of the most recent operations, printed on failure.
+class TraceTail {
+ public:
+  void note(std::string op) {
+    if (ops_.size() == kKeep) ops_.erase(ops_.begin());
+    ops_.push_back(std::move(op));
+    ++total_;
+  }
+
+  void dump() const {
+    std::fprintf(stderr, "  last %zu of %llu ops:\n", ops_.size(),
+                 static_cast<unsigned long long>(total_));
+    for (const auto& op : ops_) {
+      std::fprintf(stderr, "    %s\n", op.c_str());
+    }
+  }
+
+ private:
+  static constexpr std::size_t kKeep = 24;
+  std::vector<std::string> ops_;
+  std::uint64_t total_ = 0;
+};
+
+void fail(const FuzzCase& fuzz, const TraceTail& trace, const char* what) {
+  ++failures;
+  std::fprintf(stderr, "FAIL [%s] seed=%llu steps=%llu: %s\n",
+               fuzz.structure.c_str(),
+               static_cast<unsigned long long>(fuzz.seed),
+               static_cast<unsigned long long>(fuzz.steps), what);
+  trace.dump();
+  std::fprintf(stderr,
+               "  reproduce: test_model_fuzz --structure=%s --seed=%llu "
+               "--steps=%llu\n",
+               fuzz.structure.c_str(),
+               static_cast<unsigned long long>(fuzz.seed),
+               static_cast<unsigned long long>(fuzz.steps));
+}
+
+// Compare collect() output against the model set, exactly.
+template <typename Array>
+bool audit_collect(Array& array, const std::set<std::uint64_t>& model) {
+  std::vector<std::uint64_t> collected;
+  const std::size_t found = array.collect(collected);
+  if (found != collected.size() || found != model.size()) return false;
+  return std::set<std::uint64_t>(collected.begin(), collected.end()) == model;
+}
+
+// One sequential fuzz run. Returns false (after reporting) on the first
+// divergence from the model.
+template <typename Array>
+void fuzz_sequential(Array& array, const FuzzCase& fuzz) {
+  la::rng::MarsagliaXorshift rng(la::rng::mix_seed(fuzz.seed, 0xF022));
+  std::set<std::uint64_t> model;
+  std::vector<std::uint64_t> held;  // model contents, for O(1) sampling
+  std::vector<std::uint64_t> recently_freed;
+  TraceTail trace;
+  char buf[96];
+
+  for (std::uint64_t step = 0; step < fuzz.steps; ++step) {
+    const std::uint64_t roll = la::rng::bounded(rng, 100);
+    if (roll < 2) {
+      // Out-of-range free must throw std::out_of_range and change nothing.
+      const std::uint64_t bogus = array.total_slots() + roll;
+      trace.note("free(out-of-range " + std::to_string(bogus) + ")");
+      bool threw = false;
+      try {
+        array.free(bogus);
+      } catch (const std::out_of_range&) {
+        threw = true;
+      }
+      if (!threw) {
+        fail(fuzz, trace, "out-of-range free did not throw");
+        return;
+      }
+    } else if (roll < 5 && !recently_freed.empty()) {
+      // Double free of a recently freed (possibly parked) name must fail
+      // loudly. Skip names the model re-acquired since.
+      const std::uint64_t name = recently_freed.back();
+      recently_freed.pop_back();
+      if (model.count(name) == 0) {
+        trace.note("free(double " + std::to_string(name) + ")");
+        bool threw = false;
+        try {
+          array.free(name);
+        } catch (const std::logic_error&) {
+          threw = true;
+        }
+        if (!threw) {
+          fail(fuzz, trace, "double free did not throw");
+          return;
+        }
+      }
+    } else if (roll < 12) {
+      trace.note("collect()");
+      if (!audit_collect(array, model)) {
+        fail(fuzz, trace, "collect() disagrees with the reference model");
+        return;
+      }
+    } else if (roll < 55 && model.size() < fuzz.capacity) {
+      const auto r = array.get(rng);
+      std::snprintf(buf, sizeof(buf), "get -> %llu (%u probes)",
+                    static_cast<unsigned long long>(r.name), r.probes);
+      trace.note(buf);
+      if (r.name >= array.total_slots()) {
+        fail(fuzz, trace, "get returned a name >= total_slots()");
+        return;
+      }
+      if (r.probes < 1) {
+        fail(fuzz, trace, "get reported zero probes");
+        return;
+      }
+      if (!model.insert(r.name).second) {
+        fail(fuzz, trace, "get returned a name the model already holds");
+        return;
+      }
+      held.push_back(r.name);
+    } else if (!held.empty()) {
+      const std::uint64_t victim = la::rng::bounded(rng, held.size());
+      const std::uint64_t name = held[victim];
+      trace.note("free(" + std::to_string(name) + ")");
+      array.free(name);
+      held[victim] = held.back();
+      held.pop_back();
+      model.erase(name);
+      recently_freed.push_back(name);
+      if (recently_freed.size() > 8) recently_freed.erase(
+          recently_freed.begin());
+    }
+  }
+
+  // Drain and verify quiescence.
+  trace.note("drain");
+  for (const auto name : held) {
+    array.free(name);
+    model.erase(name);
+  }
+  held.clear();
+  if (!audit_collect(array, model)) {
+    fail(fuzz, trace, "structure not empty after the final drain");
+  }
+}
+
+// Phased-concurrent fuzz: workers churn private models between barriers;
+// the main thread audits collect() against the union at every quiescent
+// point. Worker exceptions are trapped and reported (the invariant
+// "collect == union" would be meaningless after one).
+template <typename Array>
+void fuzz_phased(Array& array, const FuzzCase& fuzz, std::uint32_t threads,
+                 std::uint32_t rounds, std::uint32_t ops_per_round) {
+  struct Worker {
+    std::set<std::uint64_t> model;
+    std::vector<std::uint64_t> held;
+    std::string error;
+  };
+  std::vector<Worker> workers(threads);
+  la::sync::SpinBarrier barrier(threads + 1);  // workers + auditor
+  const std::uint64_t share = fuzz.capacity / (threads + 1);
+
+  {
+    la::sync::ThreadGroup group;
+    group.spawn(threads, [&](std::uint32_t tid) {
+      Worker& w = workers[tid];
+      la::rng::MarsagliaXorshift rng(la::rng::mix_seed(fuzz.seed, tid + 71));
+      try {
+        for (std::uint32_t round = 0; round < rounds; ++round) {
+          barrier.wait();  // round opens
+          for (std::uint32_t op = 0; op < ops_per_round; ++op) {
+            const bool can_get = w.held.size() < share;
+            if (!w.held.empty() &&
+                (!can_get || la::rng::bounded(rng, 2) == 0)) {
+              const std::uint64_t victim =
+                  la::rng::bounded(rng, w.held.size());
+              array.free(w.held[victim]);
+              w.model.erase(w.held[victim]);
+              w.held[victim] = w.held.back();
+              w.held.pop_back();
+            } else if (can_get) {
+              const auto r = array.get(rng);
+              if (!w.model.insert(r.name).second) {
+                throw std::logic_error("worker granted a duplicate name");
+              }
+              w.held.push_back(r.name);
+            }
+          }
+          barrier.wait();  // round closes; auditor runs collect()
+          barrier.wait();  // audit done
+        }
+      } catch (const std::exception& e) {
+        w.error = e.what();
+        barrier.abort();
+      }
+    });
+
+    TraceTail trace;
+    for (std::uint32_t round = 0; round < rounds; ++round) {
+      trace.note("round " + std::to_string(round));
+      barrier.wait();  // round opens (abort poisons the wait)
+      barrier.wait();  // workers quiesce
+      if (barrier.aborted()) break;
+      std::set<std::uint64_t> expected;
+      bool disjoint = true;
+      for (const auto& w : workers) {
+        for (const auto name : w.model) {
+          disjoint = expected.insert(name).second && disjoint;
+        }
+      }
+      if (!disjoint) {
+        fail(fuzz, trace, "two workers hold the same name");
+        barrier.abort();
+        break;
+      }
+      if (!audit_collect(array, expected)) {
+        fail(fuzz, trace,
+             "phased audit: collect() disagrees with the model union");
+        barrier.abort();
+        break;
+      }
+      barrier.wait();  // release workers into the next round
+      if (barrier.aborted()) break;
+    }
+  }
+
+  TraceTail trace;
+  for (auto& w : workers) {
+    if (!w.error.empty()) {
+      fail(fuzz, trace, ("worker died: " + w.error).c_str());
+    }
+    for (const auto name : w.held) array.free(name);
+    w.held.clear();
+    w.model.clear();
+  }
+  std::set<std::uint64_t> empty;
+  if (!audit_collect(array, empty)) {
+    fail(fuzz, trace, "structure not empty after the phased drain");
+  }
+}
+
+void run_case(const FuzzCase& fuzz) {
+  la::api::RenamerConfig config;
+  config.capacity = fuzz.capacity;
+  // A corrupt structure can also surface as a throw from its own
+  // internal guards (e.g. an inner double-free during a cache drain);
+  // report that with the repro line instead of std::terminate.
+  TraceTail trace;
+  try {
+    la::api::visit(fuzz.structure, config, [&](auto& array) {
+      fuzz_sequential(array, fuzz);
+    });
+    la::api::visit(fuzz.structure, config, [&](auto& array) {
+      fuzz_phased(array, fuzz, /*threads=*/3, /*rounds=*/6,
+                  /*ops_per_round=*/static_cast<std::uint32_t>(
+                      fuzz.steps / 12 + 16));
+    });
+  } catch (const std::exception& e) {
+    fail(fuzz, trace, ("unexpected exception: " + std::string(e.what()))
+                          .c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace la;
+  bench::Options opts(argc, argv);
+  const std::string only = opts.get_string("structure", "");
+  const std::uint64_t seed_flag = opts.get_uint("seed", 0);
+  const std::uint64_t steps = opts.get_uint("steps", 3000);
+  const std::uint64_t capacity = opts.get_uint("capacity", 96);
+
+  std::vector<std::string> structures;
+  if (!only.empty()) {
+    structures.push_back(api::resolve_structure(only));
+  } else {
+    structures = api::registered_names();
+  }
+  std::vector<std::uint64_t> seeds;
+  if (seed_flag != 0) {
+    seeds.push_back(seed_flag);
+  } else {
+    seeds = {20260727, 42, 7};
+  }
+
+  for (const auto& structure : structures) {
+    for (const auto seed : seeds) {
+      FuzzCase fuzz;
+      fuzz.structure = structure;
+      fuzz.seed = seed;
+      fuzz.steps = steps;
+      fuzz.capacity = capacity;
+      const int before = failures;
+      run_case(fuzz);
+      if (failures == before) {
+        std::printf("ok   %-18s seed=%llu steps=%llu\n", structure.c_str(),
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(steps));
+      }
+    }
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "%d model fuzz run(s) failed\n", failures);
+    return 1;
+  }
+  std::puts("test_model_fuzz: OK");
+  return 0;
+}

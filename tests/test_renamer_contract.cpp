@@ -4,13 +4,16 @@
 // held set, out-of-range free throwing, and double-free failing loudly.
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "api/registry.hpp"
+#include "core/level_array.hpp"
 #include "rng/rng.hpp"
+#include "scale/sharded.hpp"
 
 namespace {
 
@@ -100,7 +103,8 @@ int main() {
   using namespace la;
 
   const auto& infos = api::registered_structures();
-  CHECK(infos.size() == 7);  // all seven structures are registered
+  // The seven flat structures plus their seven sharded:* variants.
+  CHECK(infos.size() == 14);
 
   for (const auto& info : infos) {
     current = std::string(info.name);
@@ -171,6 +175,75 @@ int main() {
       threw_again = true;
     }
     CHECK(threw_again);
+  }
+
+  // ShardedRenamer edge cases beyond the generic contract walk: the
+  // shard math must route names back to the right shard, parked names
+  // must stay double-free-safe, and collect() must drain the caches.
+  {
+    current = "sharded/name-routing";
+    scale::ShardedConfig config;
+    config.shards = 4;
+    config.cache_capacity = 0;  // direct path: every name routes to inner
+    scale::ShardedRenamer<core::LevelArray> array(
+        config, [](std::uint32_t) {
+          core::LevelArrayConfig inner;
+          inner.capacity = 8;
+          return std::make_unique<core::LevelArray>(inner);
+        });
+    CHECK(array.num_shards() == 4);
+    CHECK(array.capacity() == 32);
+    CHECK(array.total_slots() == 4 * array.shard_stride());
+    la::rng::MarsagliaXorshift rng(11);
+    std::vector<std::uint64_t> names;
+    for (int i = 0; i < 32; ++i) names.push_back(array.get(rng).name);
+    // Per-shard occupancy gates: exactly 8 names land in each stride
+    // range, and every name frees back through the right shard.
+    std::vector<std::uint64_t> per_shard(4, 0);
+    for (const auto name : names) {
+      CHECK(name < array.total_slots());
+      ++per_shard[name / array.shard_stride()];
+    }
+    for (const auto count : per_shard) CHECK(count == 8);
+    for (const auto name : names) array.free(name);
+    std::vector<std::uint64_t> collected;
+    CHECK(array.collect(collected) == 0);
+  }
+  {
+    current = "sharded/parked-double-free";
+    scale::ShardedConfig config;
+    config.shards = 2;
+    config.cache_capacity = 8;
+    scale::ShardedRenamer<core::LevelArray> array(
+        config, [](std::uint32_t) {
+          core::LevelArrayConfig inner;
+          inner.capacity = 8;
+          return std::make_unique<core::LevelArray>(inner);
+        });
+    la::rng::MarsagliaXorshift rng(5);
+    const auto r = array.get(rng);
+    array.free(r.name);  // parks in this thread's cache
+    bool threw_double = false;
+    try {
+      array.free(r.name);  // parked, not held — must still fail loudly
+    } catch (const std::logic_error&) {
+      threw_double = true;
+    }
+    CHECK(threw_double);
+    // The parked name comes back as a cache hit...
+    const auto again = array.get(rng);
+    CHECK(again.name == r.name);
+    CHECK(again.probes == 1);
+    array.free(again.name);
+    // ...and collect() drains the cache: the parked name is logically
+    // free, so nothing is held and the shards get their slot back.
+    std::vector<std::uint64_t> collected;
+    CHECK(array.collect(collected) == 0);
+    std::vector<std::uint64_t> inner_names;
+    CHECK(array.shard(0).collect(inner_names) == 0);
+    CHECK(array.shard(1).collect(inner_names) == 0);
+    // Aliases: the '-' spelling resolves to the ':' canonical key.
+    CHECK(api::resolve_structure("sharded-level") == "sharded:level");
   }
 
   // Unknown names throw and the message lists the registry.

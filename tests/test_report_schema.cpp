@@ -1,0 +1,381 @@
+// Golden test for the levelarray-bench-v1 report writer: builds a
+// BenchReport from fixed inputs, round-trips the rendered document
+// through a minimal recursive-descent JSON parser, and asserts the
+// schema contract (required keys, nonzero ops/s, escaping, null for
+// non-finite doubles) — so a schema break fails in ctest, not only in
+// the python bench-smoke tier. Also byte-compares the rendered document
+// against a committed golden (with the volatile git field spliced), so
+// key *order* — part of the PR-over-PR diffability story — is pinned
+// too.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_util/report.hpp"
+#include "stats/summary.hpp"
+
+namespace {
+
+int failures = 0;
+std::string current;
+
+#define CHECK(cond)                                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FAIL [%s] %s:%d: %s\n", current.c_str(),      \
+                   __FILE__, __LINE__, #cond);                            \
+      ++failures;                                                         \
+    }                                                                     \
+  } while (0)
+
+// --- a ~100-line JSON value + parser, enough for the v1 schema ----------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  bool has(const std::string& key) const { return fields.count(key) != 0; }
+  const JsonValue& at(const std::string& key) const {
+    auto it = fields.find(key);
+    if (it == fields.end()) {
+      throw std::runtime_error("missing key: " + key);
+    }
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) throw std::runtime_error("trailing garbage");
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r' || text_[pos_] == '\t')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  bool try_consume(const char* literal) {
+    const std::size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    JsonValue value;
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      value.kind = JsonValue::Kind::kString;
+      value.text = parse_string();
+      return value;
+    }
+    if (try_consume("null")) return value;
+    if (try_consume("true")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (try_consume("false")) {
+      value.kind = JsonValue::Kind::kBool;
+      return value;
+    }
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      value.fields.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      value.items.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            throw std::runtime_error("bad \\u escape");
+          }
+          const unsigned code =
+              static_cast<unsigned>(std::strtoul(
+                  text_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+          out.push_back(static_cast<char>(code));  // v1 only emits < 0x20
+          break;
+        }
+        default: throw std::runtime_error("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw std::runtime_error("bad number");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                               nullptr);
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// --- the fixture: a report with every value shape the schema uses -------
+
+la::bench::BenchReport golden_report() {
+  using la::bench::JsonObject;
+  la::bench::BenchReport report("golden_bench");
+  la::stats::TrialStats trials;
+  for (int i = 0; i < 10; ++i) trials.record(1);
+  trials.record(4);
+
+  report.add_run()
+      .set("structure", "level")
+      .set("rng", "marsaglia")
+      .set("threads", std::uint32_t{8})
+      .set_object("config", JsonObject()
+                                .set("capacity", std::uint64_t{1024})
+                                .set("size_factor", 2.0)
+                                .set("flag", true))
+      .set("ops_per_sec", 12345.5)
+      .set_object("probes", la::bench::probe_stats_json(trials));
+  report.add_run()
+      .set("structure", "sharded:level")
+      .set("rng", "pcg32")
+      .set("threads", std::uint32_t{1})
+      .set_object("config", JsonObject().set("capacity", std::uint64_t{8}))
+      .set("ops_per_sec", 1.0)
+      .set("note", "escape check: \"quotes\" \\ backslash \n newline \x01")
+      .set("bad_measurement", std::nan(""));
+  return report;
+}
+
+// The expected rendering, with {GIT} for the volatile field. Everything
+// else — key order included — is pinned.
+const char kGolden[] =
+    "{\n"
+    "  \"schema\": \"levelarray-bench-v1\",\n"
+    "  \"bench\": \"golden_bench\",\n"
+    "  \"git\": {GIT},\n"
+    "  \"runs\": [\n"
+    "    {\"structure\": \"level\", \"rng\": \"marsaglia\", \"threads\": 8, "
+    "\"config\": {\"capacity\": 1024, \"size_factor\": 2, \"flag\": true}, "
+    "\"ops_per_sec\": 12345.5, \"probes\": {\"operations\": 11, "
+    "\"avg\": 1.27272727273, \"stddev\": 0.904534033733, \"worst\": 4, "
+    "\"p99\": 4, \"p999\": 4}},\n"
+    "    {\"structure\": \"sharded:level\", \"rng\": \"pcg32\", "
+    "\"threads\": 1, \"config\": {\"capacity\": 8}, \"ops_per_sec\": 1, "
+    "\"note\": \"escape check: \\\"quotes\\\" \\\\ backslash \\n newline "
+    "\\u0001\", \"bad_measurement\": null}\n"
+    "  ]\n}\n";
+
+std::string expected_golden() {
+  std::string expected = kGolden;
+  const std::string placeholder = "{GIT}";
+  const std::string git = "\"" + la::bench::git_describe() + "\"";
+  expected.replace(expected.find(placeholder), placeholder.size(), git);
+  return expected;
+}
+
+void check_parsed_schema(const JsonValue& doc) {
+  current = "parsed-schema";
+  CHECK(doc.kind == JsonValue::Kind::kObject);
+  CHECK(doc.at("schema").text == "levelarray-bench-v1");
+  CHECK(doc.at("bench").text == "golden_bench");
+  CHECK(doc.at("git").kind == JsonValue::Kind::kString);
+  const JsonValue& runs = doc.at("runs");
+  CHECK(runs.kind == JsonValue::Kind::kArray);
+  CHECK(runs.items.size() == 2);
+  for (const JsonValue& run : runs.items) {
+    // The conventional per-run keys every driver must emit.
+    CHECK(run.at("structure").kind == JsonValue::Kind::kString);
+    CHECK(run.at("rng").kind == JsonValue::Kind::kString);
+    CHECK(run.at("threads").kind == JsonValue::Kind::kNumber);
+    CHECK(run.at("config").kind == JsonValue::Kind::kObject);
+    CHECK(run.at("ops_per_sec").kind == JsonValue::Kind::kNumber);
+    CHECK(run.at("ops_per_sec").number > 0);
+  }
+  const JsonValue& probes = runs.items[0].at("probes");
+  for (const char* key :
+       {"operations", "avg", "stddev", "worst", "p99", "p999"}) {
+    CHECK(probes.has(key));
+    CHECK(probes.at(key).kind == JsonValue::Kind::kNumber);
+  }
+  CHECK(probes.at("operations").number == 11);
+  CHECK(probes.at("worst").number == 4);
+  // Escaping round-trips, and non-finite doubles are null, not 0.
+  const JsonValue& second = runs.items[1];
+  CHECK(second.at("note").text ==
+        "escape check: \"quotes\" \\ backslash \n newline \x01");
+  CHECK(second.at("bad_measurement").kind == JsonValue::Kind::kNull);
+}
+
+}  // namespace
+
+int main() {
+  using namespace la;
+
+  const bench::BenchReport report = golden_report();
+  const std::string rendered = report.render();
+
+  // 1. Byte-exact golden (key order is part of the contract).
+  current = "golden-bytes";
+  const std::string expected = expected_golden();
+  if (rendered != expected) {
+    ++failures;
+    std::fprintf(stderr, "FAIL [golden-bytes] rendering drifted\n");
+    std::fprintf(stderr, "--- expected ---\n%s\n--- rendered ---\n%s\n",
+                 expected.c_str(), rendered.c_str());
+  }
+
+  // 2. The document round-trips through a real parser.
+  current = "round-trip";
+  try {
+    check_parsed_schema(JsonParser(rendered).parse());
+  } catch (const std::exception& e) {
+    ++failures;
+    std::fprintf(stderr, "FAIL [round-trip] %s\n", e.what());
+  }
+
+  // 3. write_file output is byte-identical to render().
+  current = "write-file";
+  {
+    const std::string path = "test_report_schema.tmp.json";
+    std::ostringstream errors;
+    CHECK(report.write_file(path, errors));
+    std::ifstream in(path);
+    std::ostringstream read_back;
+    read_back << in.rdbuf();
+    CHECK(read_back.str() == rendered);
+    std::remove(path.c_str());
+    // An unwritable path reports failure instead of dying.
+    std::ostringstream quiet;
+    CHECK(!report.write_file("no-such-dir/x/y.json", quiet));
+    CHECK(!quiet.str().empty());
+  }
+
+  // 4. Duplicate keys are a driver bug and must throw.
+  current = "duplicate-key";
+  {
+    bool threw = false;
+    try {
+      bench::JsonObject object;
+      object.set("ops_per_sec", 1.0).set("ops_per_sec", 2.0);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+    CHECK(threw);
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "%d report schema check(s) failed\n", failures);
+    return 1;
+  }
+  std::puts("test_report_schema: OK");
+  return 0;
+}

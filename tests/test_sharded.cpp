@@ -1,0 +1,281 @@
+// Unit tests for the scale layer's own machinery — the pieces the
+// generic harnesses (contract walk, stress matrix, model fuzz) exercise
+// but never observe directly: cache hit accounting, bounded overflow
+// flushes, drain-on-collect, the global-miss drain that reclaims parked
+// capacity, thread-exit flushing with cache-slot recycling across thread
+// generations, the uncached overflow mode past max_threads, and the
+// name-routing edges (stride gaps, per-shard gates).
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/level_array.hpp"
+#include "rng/rng.hpp"
+#include "scale/sharded.hpp"
+
+namespace {
+
+int failures = 0;
+std::string current;
+
+#define CHECK(cond)                                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FAIL [%s] %s:%d: %s\n", current.c_str(),      \
+                   __FILE__, __LINE__, #cond);                            \
+      ++failures;                                                         \
+    }                                                                     \
+  } while (0)
+
+using Sharded = la::scale::ShardedRenamer<la::core::LevelArray>;
+
+Sharded make_sharded(la::scale::ShardedConfig config,
+                     std::uint64_t shard_capacity) {
+  return Sharded(config, [shard_capacity](std::uint32_t) {
+    la::core::LevelArrayConfig inner;
+    inner.capacity = shard_capacity;
+    return std::make_unique<la::core::LevelArray>(inner);
+  });
+}
+
+void check_cache_hits_and_flush() {
+  current = "cache-hits-and-flush";
+  la::scale::ShardedConfig config;
+  config.shards = 2;
+  config.cache_capacity = 4;
+  config.cache_flush_batch = 2;
+  Sharded array = make_sharded(config, 16);
+  la::rng::MarsagliaXorshift rng(1);
+
+  // Park more than the cache holds: the overflow flush must bound it.
+  std::vector<std::uint64_t> names;
+  for (int i = 0; i < 10; ++i) names.push_back(array.get(rng).name);
+  for (const auto name : names) array.free(name);
+  auto stats = array.stats();
+  CHECK(stats.parked_frees == 10);
+  CHECK(stats.shared_gets == 10);
+  CHECK(stats.cache_hits == 0);
+
+  // The next Gets pop parked names (most recent first), then fall back
+  // to the shards for what was flushed.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10; ++i) CHECK(seen.insert(array.get(rng).name).second);
+  stats = array.stats();
+  CHECK(stats.cache_hits >= 1);
+  CHECK(stats.cache_hits <= 4);  // never more than the cache holds
+
+  // LIFO: an immediate free + get round-trips the same name as a hit.
+  const std::uint64_t name = *seen.begin();
+  array.free(name);
+  const auto r = array.get(rng);
+  CHECK(r.name == name);
+  CHECK(r.probes == 1);
+
+  for (const auto held : seen) array.free(held);
+  std::vector<std::uint64_t> collected;
+  CHECK(array.collect(collected) == 0);
+}
+
+void check_drain_restores_shards() {
+  current = "drain-restores-shards";
+  la::scale::ShardedConfig config;
+  config.shards = 2;
+  config.cache_capacity = 8;
+  Sharded array = make_sharded(config, 8);
+  la::rng::MarsagliaXorshift rng(2);
+
+  std::vector<std::uint64_t> names;
+  for (int i = 0; i < 6; ++i) names.push_back(array.get(rng).name);
+  for (const auto name : names) array.free(name);
+
+  // Parked: the shards still see the slots as occupied.
+  std::vector<std::uint64_t> inner_names;
+  std::size_t inner_held = array.shard(0).collect(inner_names) +
+                           array.shard(1).collect(inner_names);
+  CHECK(inner_held == 6);
+
+  array.drain_caches();
+  inner_names.clear();
+  inner_held = array.shard(0).collect(inner_names) +
+               array.shard(1).collect(inner_names);
+  CHECK(inner_held == 0);
+  CHECK(array.stats().cache_drains >= 1);
+}
+
+void check_global_miss_reclaims_parked() {
+  current = "global-miss-reclaim";
+  la::scale::ShardedConfig config;
+  config.shards = 2;
+  config.cache_capacity = 8;
+  config.cache_flush_batch = 8;
+  Sharded array = make_sharded(config, 4);  // total capacity 8
+  la::rng::MarsagliaXorshift rng(3);
+
+  // Main holds shard 0's whole gate; a live worker saturates shard 1 and
+  // parks everything in its own cache — the worker must stay alive, or
+  // its exit hook would flush the cache and defuse the scenario.
+  std::vector<std::uint64_t> held;
+  for (int i = 0; i < 4; ++i) held.push_back(array.get(rng).name);
+  std::atomic<int> phase{0};
+  std::thread worker([&array, &phase] {
+    la::rng::MarsagliaXorshift worker_rng(4);
+    std::vector<std::uint64_t> names;
+    for (int i = 0; i < 4; ++i) names.push_back(array.get(worker_rng).name);
+    for (const auto name : names) array.free(name);  // all parked
+    phase.store(1, std::memory_order_release);
+    while (phase.load(std::memory_order_acquire) < 2) {
+      std::this_thread::yield();
+    }
+  });
+  while (phase.load(std::memory_order_acquire) < 1) {
+    std::this_thread::yield();
+  }
+
+  // Main's cache is empty and both gates are saturated (holds + the
+  // worker's parked slots). This Get must steal-drain the worker's bins
+  // and then succeed — termination, not livelock.
+  const auto r = array.get(rng);
+  CHECK(r.name < array.total_slots());
+  held.push_back(r.name);
+  CHECK(array.stats().cache_drains >= 1);
+  phase.store(2, std::memory_order_release);
+  worker.join();
+  for (const auto name : held) array.free(name);
+  std::vector<std::uint64_t> collected;
+  CHECK(array.collect(collected) == 0);
+}
+
+void check_thread_exit_flush_and_slot_reuse() {
+  current = "thread-exit-flush";
+  la::scale::ShardedConfig config;
+  config.shards = 2;
+  config.cache_capacity = 8;
+  config.max_threads = 2;  // force slot recycling across generations
+  Sharded array = make_sharded(config, 16);
+
+  // Generations of short-lived threads: each parks names and exits; the
+  // exit hook must flush them back (else later generations starve) and
+  // recycle the cache slot (else generation 3+ runs uncached).
+  for (int generation = 0; generation < 6; ++generation) {
+    std::thread worker([&array] {
+      la::rng::MarsagliaXorshift rng(7);
+      std::vector<std::uint64_t> names;
+      for (int i = 0; i < 6; ++i) names.push_back(array.get(rng).name);
+      for (const auto name : names) array.free(name);
+      // Exits with 6 names parked in its cache.
+    });
+    worker.join();
+    // After the join, the exited thread's cache must be empty: the
+    // shards hold nothing and a collect (which drains) finds nothing.
+    std::vector<std::uint64_t> collected;
+    CHECK(array.collect(collected) == 0);
+    std::vector<std::uint64_t> inner_names;
+    CHECK(array.shard(0).collect(inner_names) +
+              array.shard(1).collect(inner_names) ==
+          0);
+  }
+  // Every generation after the first must have re-used a recycled slot
+  // and still parked (i.e. it did not fall into the uncached mode).
+  CHECK(array.stats().parked_frees == 6 * 6);
+}
+
+void check_uncached_overflow_mode() {
+  current = "uncached-overflow";
+  la::scale::ShardedConfig config;
+  config.shards = 2;
+  config.cache_capacity = 4;
+  config.max_threads = 1;  // the main thread claims the only slot
+  Sharded array = make_sharded(config, 16);
+  la::rng::MarsagliaXorshift rng(9);
+
+  // Main thread claims the slot...
+  const auto first = array.get(rng);
+  // ...so a second thread runs uncached: its frees go straight to the
+  // shards and its gets all come from the shards, yet stay correct.
+  std::thread worker([&array] {
+    la::rng::MarsagliaXorshift worker_rng(10);
+    std::set<std::uint64_t> names;
+    for (int round = 0; round < 3; ++round) {
+      for (int i = 0; i < 8; ++i) {
+        const auto r = array.get(worker_rng);
+        if (!names.insert(r.name).second) {
+          throw std::logic_error("uncached worker got a duplicate");
+        }
+      }
+      for (const auto name : names) array.free(name);
+      names.clear();
+    }
+  });
+  worker.join();
+  const auto stats = array.stats();
+  CHECK(stats.direct_frees == 3 * 8);
+  array.free(first.name);
+  std::vector<std::uint64_t> collected;
+  CHECK(array.collect(collected) == 0);
+}
+
+void check_routing_edges() {
+  current = "routing-edges";
+  la::scale::ShardedConfig config;
+  config.shards = 3;
+  config.cache_capacity = 0;  // exercise the cache-disabled mode too
+  Sharded array = make_sharded(config, 5);
+  la::rng::MarsagliaXorshift rng(11);
+
+  CHECK(array.num_shards() == 3);
+  CHECK(array.capacity() == 15);
+  // Stride is the inner slot count (10) rounded up to a power of two.
+  CHECK(array.shard_stride() == 16);
+  CHECK(array.total_slots() == 48);
+
+  // A name inside the stride gap (local 10..15 of shard 0) is out of
+  // range even though it is below total_slots().
+  bool threw = false;
+  try {
+    array.free(12);
+  } catch (const std::out_of_range&) {
+    threw = true;
+  }
+  CHECK(threw);
+
+  // With caching off, a free+get pair round-trips through the shard.
+  const auto r = array.get(rng);
+  array.free(r.name);
+  const auto stats = array.stats();
+  CHECK(stats.parked_frees == 0);
+  CHECK(stats.cache_hits == 0);
+  CHECK(stats.direct_frees == 1);
+  CHECK(stats.shared_gets == 1);
+
+  // Zero shards is promoted to one, and the capacity survives.
+  la::scale::ShardedConfig degenerate;
+  degenerate.shards = 0;
+  Sharded one = make_sharded(degenerate, 4);
+  CHECK(one.num_shards() == 1);
+  CHECK(one.capacity() == 4);
+}
+
+}  // namespace
+
+int main() {
+  check_cache_hits_and_flush();
+  check_drain_restores_shards();
+  check_global_miss_reclaims_parked();
+  check_thread_exit_flush_and_slot_reuse();
+  check_uncached_overflow_mode();
+  check_routing_edges();
+
+  if (failures != 0) {
+    std::fprintf(stderr, "%d sharded scale-layer check(s) failed\n",
+                 failures);
+    return 1;
+  }
+  std::puts("test_sharded: OK");
+  return 0;
+}
