@@ -30,6 +30,8 @@ void print_usage() {
       "  --size-factor=2.0   L = size-factor * N\n"
       "  --algo=level,random,linear   structures to run (any registered\n"
       "                      name/alias; 'all' = every registered structure)\n"
+      "  --batch=1           names per Free-k/Get-k exchange in the churn\n"
+      "                      loop (>1 routes through the batch surface)\n"
       "  --rng=marsaglia     probe RNG (marsaglia | lehmer | pcg32)\n"
       "  --seed=42           base RNG seed\n"
       "  --json=<path>       also write the machine-readable report\n"
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
   const double size_factor = opts.get_double("size-factor", 2.0);
   const auto algos = bench::expand_algos(
       opts.get_string_list("algo", {"level", "random", "linear"}));
+  const auto batch = opts.get_uint("batch", 1);
   const auto rng_kind =
       rng::parse_rng_kind(opts.get_string("rng", "marsaglia"));
   const auto seed = opts.get_uint("seed", 42);
@@ -75,6 +78,7 @@ int main(int argc, char** argv) {
       point.driver.seconds = seconds;
       point.driver.seed = seed;
       point.driver.rng_kind = rng_kind;
+      point.driver.batch = batch;
       point.size_factor = size_factor;
       bench::RunResult result;
       try {
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
           .set("structure", algo)
           .set("rng", rng::rng_kind_name(rng_kind))
           .set("threads", n)
+          .set("batch", batch)
           .set_object("config",
                       bench::JsonObject()
                           .set("mult", mult)

@@ -1,18 +1,23 @@
 // micro_ops — google-benchmark micro-latency suite for the individual
-// operations: Get/Free pairs at varying load for every algorithm, Collect
-// at varying sizes, and the raw substrate costs (TAS, RNG draw) that bound
-// them. Complements the figure benches with per-operation nanosecond
-// numbers.
+// operations: Get/Free pairs and batched Get-k/Free-k exchanges for every
+// registered structure (registry-dispatched, so new entries are covered
+// automatically), the sharded hot paths (cache park/pop, steal-drain),
+// Collect at varying sizes, and the raw substrate costs (TAS, RNG draw)
+// that bound them. Complements the figure benches with per-operation
+// nanosecond numbers.
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
-#include "arrays/linear_probing_array.hpp"
-#include "arrays/random_array.hpp"
-#include "arrays/sequential_scan_array.hpp"
+#include "api/registry.hpp"
 #include "core/level_array.hpp"
 #include "rng/rng.hpp"
+#include "scale/sharded.hpp"
+#include "sync/spin_barrier.hpp"
 #include "sync/tas_cell.hpp"
 
 namespace {
@@ -54,16 +59,23 @@ void BM_BoundedDraw(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundedDraw);
 
-// ------------------------------------------------- Get/Free pair latency
+// --------------------------------------- registry-wide Get/Free latency
 
-// Arg(0): capacity n. Arg(1): pre-load percent. Each iteration is one
-// Get+Free pair on an array pre-loaded to the requested fraction.
-template <typename Array>
-void run_get_free(benchmark::State& state, Array& array,
-                  std::uint64_t preload) {
+// One registry-standard sweep point for the latency benches: capacity n
+// preloaded to 50%, the regime the figure benches churn in.
+api::RenamerConfig micro_config(std::uint64_t capacity) {
+  api::RenamerConfig cfg;
+  cfg.capacity = capacity;
+  return cfg;
+}
+
+// Each iteration is one Get+Free pair on an array pre-loaded to half
+// capacity — the single-op baseline the batch benches amortize against.
+template <typename Structure>
+void run_get_free(benchmark::State& state, Structure& array) {
   rng::MarsagliaXorshift rng(7);
   std::vector<std::uint64_t> held;
-  for (std::uint64_t i = 0; i < preload; ++i) {
+  for (std::uint64_t i = 0; i < array.capacity() / 2; ++i) {
     held.push_back(array.get(rng).name);
   }
   std::uint64_t probes = 0;
@@ -77,40 +89,127 @@ void run_get_free(benchmark::State& state, Array& array,
   for (const auto name : held) array.free(name);
 }
 
-void BM_LevelArrayGetFree(benchmark::State& state) {
-  core::LevelArrayConfig config;
-  config.capacity = static_cast<std::uint64_t>(state.range(0));
-  core::LevelArray array(config);
-  const auto preload =
-      config.capacity * static_cast<std::uint64_t>(state.range(1)) / 100;
-  run_get_free(state, array, preload);
+// Each iteration is one Get-k/Free-k exchange (native batch surface where
+// the structure has one, the api fallback loop elsewhere). A gate-bounded
+// structure may grant partially; retry the remainder under Backoff like
+// the churn driver does. items_processed counts individual ops, so
+// items/s is directly comparable with 2x the BM_GetFree rate.
+template <typename Structure>
+void run_batch_get_free(benchmark::State& state, Structure& array,
+                        std::size_t k) {
+  rng::MarsagliaXorshift rng(7);
+  std::vector<std::uint64_t> held;
+  for (std::uint64_t i = 0; i < array.capacity() / 2; ++i) {
+    held.push_back(array.get(rng).name);
+  }
+  std::vector<GetResult> got(k);
+  std::vector<std::uint64_t> names(k);
+  for (auto _ : state) {
+    std::size_t have = 0;
+    sync::Backoff backoff;
+    while (have < k) {
+      const std::size_t granted =
+          api::get_batch(array, rng, got.data() + have, k - have);
+      have += granted;
+      if (have < k) backoff.pause();
+    }
+    for (std::size_t i = 0; i < k; ++i) names[i] = got[i].name;
+    api::free_batch(array, names.data(), k);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * k));
+  for (const auto name : held) array.free(name);
 }
-BENCHMARK(BM_LevelArrayGetFree)
-    ->Args({1000, 0})
-    ->Args({1000, 50})
-    ->Args({1000, 90})
-    ->Args({100000, 50});
 
-void BM_RandomArrayGetFree(benchmark::State& state) {
-  const auto n = static_cast<std::uint64_t>(state.range(0));
-  arrays::RandomArray array(2 * n, n);
-  run_get_free(state, array, n * static_cast<std::uint64_t>(state.range(1)) / 100);
+// Registered at static-init via RegisterBenchmark (the BENCHMARK macro
+// can't enumerate a runtime registry); benchmark_main picks these up
+// exactly like the macro-registered ones above.
+int register_registry_benches() {
+  for (const auto& info : api::registered_structures()) {
+    const std::string name(info.name);
+    benchmark::RegisterBenchmark(
+        ("BM_GetFree/" + name).c_str(), [name](benchmark::State& state) {
+          api::visit(name, micro_config(1024),
+                     [&state](auto& array) { run_get_free(state, array); });
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_BatchGetFree/" + name).c_str(),
+        [name](benchmark::State& state) {
+          api::visit(name, micro_config(1024), [&state](auto& array) {
+            run_batch_get_free(state, array,
+                               static_cast<std::size_t>(state.range(0)));
+          });
+        })
+        ->Arg(4)
+        ->Arg(16)
+        ->Arg(64);
+  }
+  return 0;
 }
-BENCHMARK(BM_RandomArrayGetFree)->Args({1000, 50})->Args({1000, 90});
+const int kRegistryBenches = register_registry_benches();
 
-void BM_LinearProbingGetFree(benchmark::State& state) {
-  const auto n = static_cast<std::uint64_t>(state.range(0));
-  arrays::LinearProbingArray array(2 * n, n);
-  run_get_free(state, array, n * static_cast<std::uint64_t>(state.range(1)) / 100);
-}
-BENCHMARK(BM_LinearProbingGetFree)->Args({1000, 50})->Args({1000, 90});
+// ------------------------------------------------- sharded hot paths
 
-void BM_SequentialScanGetFree(benchmark::State& state) {
-  const auto n = static_cast<std::uint64_t>(state.range(0));
-  arrays::SequentialScanArray array(2 * n, n);
-  run_get_free(state, array, n * static_cast<std::uint64_t>(state.range(1)) / 100);
+scale::ShardedRenamer<core::LevelArray> make_sharded(
+    std::uint32_t cache_capacity) {
+  scale::ShardedConfig config;
+  config.shards = 8;
+  config.cache_capacity = cache_capacity;
+  return scale::ShardedRenamer<core::LevelArray>(
+      config, [](std::uint32_t) {
+        core::LevelArrayConfig inner;
+        inner.capacity = 128;
+        return std::make_unique<core::LevelArray>(inner);
+      });
 }
-BENCHMARK(BM_SequentialScanGetFree)->Args({1000, 50});
+
+// The cached churn pair: Free parks the name in the thread's bin, the
+// next Get pops it back — the hot path that makes the scale layer fast.
+void BM_ShardedCacheParkPop(benchmark::State& state) {
+  auto array = make_sharded(/*cache_capacity=*/16);
+  rng::MarsagliaXorshift rng(7);
+  std::uint64_t name = array.get(rng).name;
+  for (auto _ : state) {
+    array.free(name);
+    name = array.get(rng).name;
+  }
+  array.free(name);
+}
+BENCHMARK(BM_ShardedCacheParkPop);
+
+// The reclaim cycle: Free-k parks a whole batch, drain_caches() steals
+// every bin back to its shard (the collect()/global-miss path), Get-k
+// re-claims from the shards. Bounds the cost a collect pays per parked
+// name.
+void BM_ShardedStealDrain(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  auto array = make_sharded(/*cache_capacity=*/64);
+  rng::MarsagliaXorshift rng(7);
+  std::vector<GetResult> got(k);
+  std::vector<std::uint64_t> names(k);
+  std::size_t have = 0;
+  sync::Backoff warmup;
+  while (have < k) {
+    have += api::get_batch(array, rng, got.data() + have, k - have);
+    if (have < k) warmup.pause();
+  }
+  for (std::size_t i = 0; i < k; ++i) names[i] = got[i].name;
+  for (auto _ : state) {
+    array.free_batch(names.data(), k);   // park into the thread bin
+    array.drain_caches();                // steal the bin back to shards
+    std::size_t refill = 0;
+    sync::Backoff backoff;
+    while (refill < k) {
+      refill += array.get_batch(rng, got.data() + refill, k - refill);
+      if (refill < k) backoff.pause();
+    }
+    for (std::size_t i = 0; i < k; ++i) names[i] = got[i].name;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k));
+  array.free_batch(names.data(), k);
+}
+BENCHMARK(BM_ShardedStealDrain)->Arg(16)->Arg(64);
 
 // ---------------------------------------------------------------- Collect
 

@@ -37,6 +37,9 @@ void print_usage() {
       "  --size-factor=2.0   L = size-factor * N (per structure)\n"
       "  --algo=level,sharded:level   structures to sweep (any registered\n"
       "                      name/alias; 'all' = every registered structure)\n"
+      "  --batch=1           batch sizes to sweep (names per Free-k/Get-k\n"
+      "                      exchange; e.g. --batch=1,4,16,64 is the\n"
+      "                      amortization sweep behind BENCH_batch.json)\n"
       "  --shards=8          shard count S for the sharded variants\n"
       "  --cache=16          per-thread free-name cache capacity (0 = off)\n"
       "  --rng=marsaglia     probe RNG (marsaglia | lehmer | pcg32)\n"
@@ -62,6 +65,7 @@ int main(int argc, char** argv) {
   const double size_factor = opts.get_double("size-factor", 2.0);
   const auto algos = bench::expand_algos(
       opts.get_string_list("algo", {"level", "sharded:level"}));
+  const auto batches = opts.get_uint_list("batch", {1});
   const auto shards =
       static_cast<std::uint32_t>(opts.get_uint("shards", 8));
   const auto cache = static_cast<std::uint32_t>(opts.get_uint("cache", 16));
@@ -76,63 +80,71 @@ int main(int argc, char** argv) {
             << " * N, prefill = " << prefill << ", shards = " << shards
             << ", cache = " << cache << "\n";
 
-  // ops/s of the first swept structure at each thread count — the
-  // speedup column's baseline (by default: flat level).
+  // ops/s of the first swept (structure, batch) pair at each thread
+  // count — the speedup column's baseline (by default: flat level at
+  // batch=1; with --batch=1,... the column doubles as the batch
+  // amortization factor).
   std::map<std::uint64_t, double> baseline;
 
   bench::BenchReport report("scaling_sweep");
   stats::Table table(
-      {"algo", "threads", "N", "ops", "ops_per_sec", "vs_first"});
+      {"algo", "batch", "threads", "N", "ops", "ops_per_sec", "vs_first"});
   for (const auto& algo : algos) {
-    for (const auto n : threads) {
-      bench::SweepPoint point;
-      point.driver.threads = static_cast<std::uint32_t>(n);
-      point.driver.emulation_multiplier = mult;
-      point.driver.prefill = prefill;
-      point.driver.ops_per_thread = 0;
-      point.driver.seconds = seconds;
-      point.driver.seed = seed;
-      point.driver.rng_kind = rng_kind;
-      point.size_factor = size_factor;
-      point.shards = shards;
-      point.name_cache_capacity = cache;
-      bench::RunResult result;
-      try {
-        result = bench::run_algo(algo, point);
-      } catch (const std::invalid_argument& e) {
-        std::cerr << "warning: skipping " << algo << ": " << e.what() << "\n";
-        continue;
+    for (const auto batch : batches) {
+      for (const auto n : threads) {
+        bench::SweepPoint point;
+        point.driver.threads = static_cast<std::uint32_t>(n);
+        point.driver.emulation_multiplier = mult;
+        point.driver.prefill = prefill;
+        point.driver.ops_per_thread = 0;
+        point.driver.seconds = seconds;
+        point.driver.seed = seed;
+        point.driver.rng_kind = rng_kind;
+        point.driver.batch = batch;
+        point.size_factor = size_factor;
+        point.shards = shards;
+        point.name_cache_capacity = cache;
+        bench::RunResult result;
+        try {
+          result = bench::run_algo(algo, point);
+        } catch (const std::invalid_argument& e) {
+          std::cerr << "warning: skipping " << algo << ": " << e.what()
+                    << "\n";
+          continue;
+        }
+        if (baseline.find(n) == baseline.end()) {
+          baseline[n] = result.throughput_ops_per_sec;
+        }
+        const double vs_first =
+            baseline[n] > 0.0
+                ? result.throughput_ops_per_sec / baseline[n]
+                : 0.0;
+        table.add_row({std::string(bench::algo_name(algo)), batch, n,
+                       point.driver.emulated_registrants(), result.total_ops,
+                       result.throughput_ops_per_sec, vs_first});
+        report.add_run()
+            .set("structure", algo)
+            .set("rng", rng::rng_kind_name(rng_kind))
+            .set("threads", n)
+            .set("batch", batch)
+            .set_object("config",
+                        bench::JsonObject()
+                            .set("mult", mult)
+                            .set("registrants",
+                                 point.driver.emulated_registrants())
+                            .set("size_factor", size_factor)
+                            .set("prefill", prefill)
+                            .set("seconds", seconds)
+                            .set("seed", seed)
+                            .set("shards", shards)
+                            .set("cache", cache))
+            .set("ops_per_sec", result.throughput_ops_per_sec)
+            .set("total_ops", result.total_ops)
+            .set("elapsed_seconds", result.elapsed_seconds)
+            .set("backup_gets", result.backup_gets)
+            .set("speedup_vs_first", vs_first)
+            .set_object("probes", bench::probe_stats_json(result.trials));
       }
-      if (baseline.find(n) == baseline.end()) {
-        baseline[n] = result.throughput_ops_per_sec;
-      }
-      const double vs_first = baseline[n] > 0.0
-                                  ? result.throughput_ops_per_sec / baseline[n]
-                                  : 0.0;
-      table.add_row({std::string(bench::algo_name(algo)), n,
-                     point.driver.emulated_registrants(), result.total_ops,
-                     result.throughput_ops_per_sec, vs_first});
-      report.add_run()
-          .set("structure", algo)
-          .set("rng", rng::rng_kind_name(rng_kind))
-          .set("threads", n)
-          .set_object("config",
-                      bench::JsonObject()
-                          .set("mult", mult)
-                          .set("registrants",
-                               point.driver.emulated_registrants())
-                          .set("size_factor", size_factor)
-                          .set("prefill", prefill)
-                          .set("seconds", seconds)
-                          .set("seed", seed)
-                          .set("shards", shards)
-                          .set("cache", cache))
-          .set("ops_per_sec", result.throughput_ops_per_sec)
-          .set("total_ops", result.total_ops)
-          .set("elapsed_seconds", result.elapsed_seconds)
-          .set("backup_gets", result.backup_gets)
-          .set("speedup_vs_first", vs_first)
-          .set_object("probes", bench::probe_stats_json(result.trials));
     }
   }
   if (opts.has("csv")) {

@@ -3,17 +3,31 @@
 bench-smoke tier (scripts/check.sh) and the CI bench-artifacts job run,
 so the schema contract cannot drift between the two copies.
 
-Usage: validate_bench_json.py [--scaling-gate=T] REPORT.json [...]
+Usage: validate_bench_json.py [--scaling-gate=T] [--batch-gate=B]
+                              REPORT.json [...]
 Exits nonzero if any report fails to parse, misses the schema tag, has
-no runs, or has a run without positive ops_per_sec.
+no runs, has a run without positive ops_per_sec, or carries a malformed
+optional batch field (must be an integer >= 1 when present).
 
 --scaling-gate=T additionally asserts the scale-layer acceptance bar on
 the given reports: at thread count T, the sharded:level run must be at
 least as fast as the flat level run (the claim BENCH_scaling.json
-commits to).
+commits to). Only batch=1 (or batch-less) runs participate.
+
+--batch-gate=B asserts the batch-amortization acceptance bar (the claim
+BENCH_batch.json commits to): at the highest thread count where
+sharded:level has both a batch=1 and a batch=B run, the batch=B run
+must deliver at least 1.5x the batch=1 ops/s.
 """
 import json
 import sys
+
+BATCH_SPEEDUP_FLOOR = 1.5
+
+
+def run_batch(run: dict) -> int:
+    """The run's batch size; pre-batch reports carry no field (= 1)."""
+    return run.get("batch", 1)
 
 
 def validate(path: str) -> dict:
@@ -26,6 +40,9 @@ def validate(path: str) -> dict:
         assert isinstance(run.get("structure"), str), f"{path}: {run}"
         ops = run["ops_per_sec"]
         assert ops is not None and ops > 0, f"{path}: ops_per_sec {ops}: {run}"
+        batch = run_batch(run)
+        assert isinstance(batch, int) and batch >= 1, (
+            f"{path}: batch {batch!r}: {run}")
     print(f"{path}: ok ({len(doc['runs'])} run(s), ops/s nonzero)")
     return doc
 
@@ -33,7 +50,7 @@ def validate(path: str) -> dict:
 def check_scaling_gate(path: str, doc: dict, threads: int) -> None:
     ops = {}
     for run in doc["runs"]:
-        if run.get("threads") == threads:
+        if run.get("threads") == threads and run_batch(run) == 1:
             ops[run["structure"]] = run["ops_per_sec"]
     assert "level" in ops and "sharded:level" in ops, (
         f"{path}: --scaling-gate={threads} needs level and sharded:level "
@@ -46,12 +63,39 @@ def check_scaling_gate(path: str, doc: dict, threads: int) -> None:
           f"at {threads} threads)")
 
 
+def check_batch_gate(path: str, doc: dict, batch: int) -> None:
+    assert batch > 1, f"--batch-gate={batch}: gate batch must exceed 1"
+    # ops[(threads, batch)] for the gated structure.
+    ops = {}
+    for run in doc["runs"]:
+        if run.get("structure") == "sharded:level":
+            ops[(run.get("threads"), run_batch(run))] = run["ops_per_sec"]
+    paired = sorted(t for (t, b) in ops
+                    if b == 1 and (t, batch) in ops and t is not None)
+    assert paired, (
+        f"{path}: --batch-gate={batch} needs sharded:level runs at both "
+        f"batch=1 and batch={batch} for a common thread count "
+        f"(have {sorted(ops)})")
+    threads = paired[-1]
+    single, batched = ops[(threads, 1)], ops[(threads, batch)]
+    speedup = batched / single
+    assert speedup >= BATCH_SPEEDUP_FLOOR, (
+        f"{path}: sharded:level batch={batch} is only {speedup:.2f}x "
+        f"batch=1 at {threads} threads ({batched:.0f} vs {single:.0f} "
+        f"ops/s; floor {BATCH_SPEEDUP_FLOOR}x)")
+    print(f"{path}: batch gate ok (sharded:level batch={batch} "
+          f"{speedup:.2f}x batch=1 at {threads} threads)")
+
+
 if __name__ == "__main__":
     gate = None
+    batch_gate = None
     reports = []
     for arg in sys.argv[1:]:
         if arg.startswith("--scaling-gate="):
             gate = int(arg.split("=", 1)[1])
+        elif arg.startswith("--batch-gate="):
+            batch_gate = int(arg.split("=", 1)[1])
         elif arg.startswith("--"):
             sys.exit(f"unknown flag {arg}\n\n{__doc__}")
         else:
@@ -62,3 +106,5 @@ if __name__ == "__main__":
         parsed = validate(report)
         if gate is not None:
             check_scaling_gate(report, parsed, gate)
+        if batch_gate is not None:
+            check_batch_gate(report, parsed, batch_gate)

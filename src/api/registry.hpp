@@ -238,6 +238,14 @@ static_assert(is_renamer_v<scale::ShardedRenamer<SplitterRenamer>>);
 // harnesses would otherwise compute nonsense balance metrics on it.
 static_assert(!has_batch_occupancy_v<scale::ShardedRenamer<core::LevelArray>>);
 static_assert(!has_geometry_v<scale::ShardedRenamer<core::LevelArray>>);
+// The batch fast path: the paper's structure and the scale layer carry
+// native get_batch/free_batch; everything else rides the api fallback
+// loop (so batched harness traffic covers all 14 registry entries).
+static_assert(has_batch_ops_v<core::LevelArray>);
+static_assert(has_batch_ops_v<scale::ShardedRenamer<core::LevelArray>>);
+static_assert(has_batch_ops_v<scale::ShardedRenamer<arrays::RandomArray>>);
+static_assert(has_batch_ops_v<scale::ShardedRenamer<SplitterRenamer>>);
+static_assert(!has_batch_ops_v<arrays::RandomArray>);  // fallback-served
 
 // The callable's result type must not depend on the structure; anchor the
 // deduction on the first entry's type.

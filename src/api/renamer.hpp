@@ -19,6 +19,25 @@
 // batch-occupancy introspection surface (batch_occupancy()); harnesses
 // detect it via has_batch_occupancy_v and enable the paper's balance
 // metrics only where it exists.
+//
+// Batch operations (optional overrides, generic fallback below):
+//
+//   std::size_t get_batch(Rng&, GetResult* out, std::size_t k)
+//   void        free_batch(const std::uint64_t* names, std::size_t k)
+//
+// get_batch claims *up to* k names and returns how many it granted.
+// Structures whose Get is total (every flat array) always grant k; a
+// gate-bounded structure (the sharded scale layer) may grant fewer —
+// even zero — when its shards refuse, after refunding any reserved gate
+// capacity exactly. Callers own the retry loop and must back off between
+// rounds (sync::Backoff) instead of busy-looping the refusal path.
+// free_batch frees all k names; it throws on the first bad name, at
+// which point the earlier names in the batch are already freed (callers
+// treating a throw as fatal — every harness here — need no rollback).
+// Structures without native overrides are served by the single-op
+// fallback loops in api::get_batch / api::free_batch, so every
+// registered structure accepts batched traffic; has_batch_ops_v reports
+// whether the amortized native path is underneath.
 #pragma once
 
 #include <cstdint>
@@ -89,6 +108,72 @@ struct is_renamer<
 
 template <typename T>
 inline constexpr bool is_renamer_v = is_renamer<T>::value;
+
+// --- batch operations ---------------------------------------------------
+
+// Native batch-claim surface: get_batch(Rng&, GetResult*, size_t).
+template <typename T, typename = void>
+struct has_native_get_batch : std::false_type {};
+
+template <typename T>
+struct has_native_get_batch<
+    T, std::void_t<decltype(std::declval<T&>().get_batch(
+           std::declval<rng::MarsagliaXorshift&>(),
+           std::declval<GetResult*>(), std::size_t{}))>>
+    : std::is_same<decltype(std::declval<T&>().get_batch(
+                       std::declval<rng::MarsagliaXorshift&>(),
+                       std::declval<GetResult*>(), std::size_t{})),
+                   std::size_t> {};
+
+template <typename T>
+inline constexpr bool has_native_get_batch_v = has_native_get_batch<T>::value;
+
+// Native batch-release surface: free_batch(const uint64_t*, size_t).
+template <typename T, typename = void>
+struct has_native_free_batch : std::false_type {};
+
+template <typename T>
+struct has_native_free_batch<
+    T, std::void_t<decltype(std::declval<T&>().free_batch(
+           std::declval<const std::uint64_t*>(), std::size_t{}))>>
+    : std::true_type {};
+
+template <typename T>
+inline constexpr bool has_native_free_batch_v =
+    has_native_free_batch<T>::value;
+
+// True when the structure amortizes batches natively (both directions);
+// false means api::get_batch / api::free_batch fall back to k single ops.
+template <typename T>
+inline constexpr bool has_batch_ops_v =
+    has_native_get_batch_v<T> && has_native_free_batch_v<T>;
+
+// Claim up to k names into out[0..k). Returns the number granted — k for
+// total structures, possibly fewer for gate-bounded ones (see the batch
+// contract in the header comment). The generic path is the per-op loop,
+// so every Renamer takes batched traffic.
+template <typename Structure, typename Rng>
+std::size_t get_batch(Structure& structure, Rng& rng, GetResult* out,
+                      std::size_t k) {
+  if constexpr (has_native_get_batch_v<Structure>) {
+    return structure.get_batch(rng, out, k);
+  } else {
+    for (std::size_t i = 0; i < k; ++i) out[i] = structure.get(rng);
+    return k;
+  }
+}
+
+// Free names[0..k). Throws on the first bad name (earlier names in the
+// batch are already freed by then).
+template <typename Structure>
+void free_batch(Structure& structure, const std::uint64_t* names,
+                std::size_t k) {
+  if constexpr (has_native_free_batch_v<Structure>) {
+    structure.free_batch(names, k);
+  } else {
+    for (std::size_t i = 0; i < k; ++i) structure.free(names[i]);
+  }
+}
 
 // Optional introspection surface: per-batch occupancy counts, used by the
 // sim harness for the paper's Definition 2 balance metrics.

@@ -39,6 +39,12 @@ struct DriverConfig {
   std::uint64_t seed = 42;
   // Probe RNG for the prefill and churn loops (paper §6 ablates this).
   rng::RngKind rng_kind = rng::RngKind::kMarsaglia;
+  // Names per batched Free/Get exchange in the churn loop. 1 = the
+  // classic single-op loop; >1 routes through api::free_batch /
+  // api::get_batch (native amortized paths where the structure has
+  // them, the single-op fallback elsewhere). ops still counts
+  // individual Gets and Frees.
+  std::uint64_t batch = 1;
 
   std::uint64_t emulated_registrants() const {
     return static_cast<std::uint64_t>(threads) * emulation_multiplier;
@@ -123,6 +129,9 @@ RunResult drive(Array& array, const DriverConfig& d) {
     }
   }
 
+  const std::size_t batch =
+      d.batch == 0 ? 1 : static_cast<std::size_t>(d.batch);
+
   sync::SpinBarrier barrier(threads);
   {
     sync::ThreadGroup group;
@@ -130,28 +139,80 @@ RunResult drive(Array& array, const DriverConfig& d) {
       Rng rng(rng::mix_seed(d.seed, tid + 1));
       ThreadOutput& out = *outputs[tid];
       std::vector<std::uint64_t>& held = out.held;
+      std::vector<std::uint64_t> victims(batch);
+      std::vector<GetResult> got(batch);
       barrier.wait();
       Stopwatch local;
-      for (std::uint64_t iter = 0;; ++iter) {
-        if (timed) {
-          if ((iter & 63u) == 0 && local.elapsed_seconds() >= d.seconds) break;
-        } else if (out.ops >= d.ops_per_thread) {
-          // ops counts Gets and Frees individually, matching the paper's
-          // "register and unregister operations" accounting.
-          break;
-        }
-        if (!held.empty()) {
-          const std::uint64_t victim = rng::bounded(rng, held.size());
-          array.free(held[victim]);
-          held[victim] = held.back();
-          held.pop_back();
+      if (batch == 1) {
+        for (std::uint64_t iter = 0;; ++iter) {
+          if (timed) {
+            if ((iter & 63u) == 0 && local.elapsed_seconds() >= d.seconds) {
+              break;
+            }
+          } else if (out.ops >= d.ops_per_thread) {
+            // ops counts Gets and Frees individually, matching the
+            // paper's "register and unregister operations" accounting.
+            break;
+          }
+          if (!held.empty()) {
+            const std::uint64_t victim = rng::bounded(rng, held.size());
+            array.free(held[victim]);
+            held[victim] = held.back();
+            held.pop_back();
+            ++out.ops;
+          }
+          const GetResult r = array.get(rng);
+          out.trials.record(r.probes);
+          if (r.used_backup) ++out.backup_gets;
+          held.push_back(r.name);
           ++out.ops;
         }
-        const GetResult r = array.get(rng);
-        out.trials.record(r.probes);
-        if (r.used_backup) ++out.backup_gets;
-        held.push_back(r.name);
-        ++out.ops;
+      } else {
+        // Batched churn: one Free-k/Get-k exchange per iteration (each
+        // iteration is ~2*batch ops, so the clock poll every 8 is at
+        // most one read per 16 ops even at batch=2).
+        for (std::uint64_t iter = 0;; ++iter) {
+          if (timed) {
+            if ((iter & 7u) == 0 && local.elapsed_seconds() >= d.seconds) {
+              break;
+            }
+          } else if (out.ops >= d.ops_per_thread) {
+            break;
+          }
+          const std::size_t nfree =
+              held.size() < batch ? held.size() : batch;
+          for (std::size_t j = 0; j < nfree; ++j) {
+            const std::uint64_t victim = rng::bounded(rng, held.size());
+            victims[j] = held[victim];
+            held[victim] = held.back();
+            held.pop_back();
+          }
+          if (nfree != 0) {
+            api::free_batch(array, victims.data(), nfree);
+            out.ops += nfree;
+          }
+          // A gate-bounded structure may grant the batch partially —
+          // retry the remainder under Backoff instead of busy-looping
+          // the refusal path (oversubscribed runs would otherwise burn
+          // whole timeslices spinning).
+          std::size_t want = batch;
+          sync::Backoff backoff;
+          while (want != 0) {
+            const std::size_t granted =
+                api::get_batch(array, rng, got.data(), want);
+            for (std::size_t j = 0; j < granted; ++j) {
+              out.trials.record(got[j].probes);
+              if (got[j].used_backup) ++out.backup_gets;
+              held.push_back(got[j].name);
+            }
+            out.ops += granted;
+            want -= granted;
+            if (want != 0) {
+              if (timed && local.elapsed_seconds() >= d.seconds) break;
+              backoff.pause();
+            }
+          }
+        }
       }
       out.seconds_active = local.elapsed_seconds();
       // Drain the stash so the array is empty for the next run/chunk.

@@ -79,6 +79,65 @@ class LevelArray {
     }
   }
 
+  // Batch claim: the same shallow-to-deep batch walk as get(), but each
+  // random probe claims from the whole word around the probed slot — one
+  // SWAR load yields the word's clear-mask and the claimer TASes several
+  // bits out of it before drawing again, instead of restarting the probe
+  // walk per name. Total like get(): always grants k (precondition:
+  // holds + k <= capacity). Per-result probes partition the total draw
+  // count (names claimed from one window beyond the first cost 1), so
+  // the paper's trials accounting still sums across a batch.
+  template <typename Rng>
+  std::size_t get_batch(Rng& rng, GetResult* out, std::size_t k) {
+    std::size_t granted = 0;
+    std::uint32_t draws = 0;  // probe draws since the last grant
+    const auto emit = [&](std::uint64_t slot, std::uint32_t batch_index,
+                          bool backup) {
+      GetResult r;
+      r.name = slot;
+      r.probes = draws == 0 ? 1 : draws;
+      r.deepest_batch = batch_index;
+      r.used_backup = backup;
+      out[granted++] = r;
+      draws = 0;
+    };
+    while (granted < k) {
+      const std::size_t before = granted;
+      for (std::uint32_t b = 0;
+           b < geometry_.num_batches() && granted < k; ++b) {
+        const Batch& batch = geometry_.batch(b);
+        const std::uint8_t c = probes_for(b);
+        for (std::uint8_t t = 0; t < c && granted < k; ++t) {
+          const std::uint64_t slot =
+              batch.offset() + rng::bounded(rng, batch.size());
+          ++draws;
+          const std::uint64_t window_end =
+              slot + 8 < batch.end() ? slot + 8 : batch.end();
+          slot_scan::claim_clear(
+              slots_.data(), slot, window_end, slots_.size(), k - granted,
+              [&](std::uint64_t claimed) { emit(claimed, b, false); });
+        }
+      }
+      if (granted >= k) break;
+      // A walk that claimed anything restarts with a fresh probe budget
+      // — each claimed window gets the same walk get() gives one name,
+      // instead of one walk's budget being split across the whole batch
+      // (which would shunt large batches into the Theta(L) backup).
+      if (granted > before) continue;
+      // Backup, batch form: a full walk came up empty, so one word-scan
+      // sweep claims the remainder (at most n of L >= 2n slots are held,
+      // so it can only come up short under transient races — then the
+      // loop re-randomizes).
+      ++draws;
+      slot_scan::claim_clear(
+          slots_.data(), 0, slots_.size(), slots_.size(), k - granted,
+          [&](std::uint64_t claimed) {
+            emit(claimed, geometry_.num_batches() - 1, true);
+          });
+    }
+    return k;
+  }
+
   void free(std::uint64_t name) {
     if (name >= slots_.size()) {
       throw std::out_of_range("LevelArray::free: name out of range");
@@ -90,6 +149,41 @@ class LevelArray {
       throw std::logic_error("LevelArray::free: slot not held (double free?)");
     }
     slots_[name].release();
+  }
+
+  // Batch release. Names that landed in the same 8-slot word (the common
+  // shape out of get_batch's window claims) are verified against one
+  // held-lane snapshot instead of one held() read each; lanes are
+  // crossed off the snapshot as they release, so a duplicate name inside
+  // the batch fails as loudly as a double free. Throws on the first bad
+  // name — earlier names in the batch are already freed by then (the
+  // api batch contract).
+  void free_batch(const std::uint64_t* names, std::size_t k) {
+    std::size_t i = 0;
+    while (i < k) {
+      const std::uint64_t base = names[i] & ~std::uint64_t{7};
+      std::size_t j = i + 1;
+      while (j < k && names[j] < slots_.size() &&
+             (names[j] & ~std::uint64_t{7}) == base) {
+        ++j;
+      }
+      if (j - i > 1 && base + 8 <= slots_.size()) {
+        std::uint64_t lanes = slot_scan::held_lanes(slots_.data(), base);
+        for (std::size_t r = i; r < j; ++r) {
+          const std::uint64_t lane_bit = std::uint64_t{0x80}
+                                         << (8 * (names[r] - base));
+          if ((lanes & lane_bit) == 0) {
+            throw std::logic_error(
+                "LevelArray::free_batch: slot not held (double free?)");
+          }
+          lanes ^= lane_bit;
+          slots_[names[r]].release();
+        }
+      } else {
+        for (std::size_t r = i; r < j; ++r) free(names[r]);
+      }
+      i = j;
+    }
   }
 
   // Appends the names of all held slots to out; returns how many were

@@ -167,6 +167,57 @@ inline std::uint64_t find_first_clear(const sync::TasCell* cells,
   return n;
 }
 
+// --- multi-claim engine -------------------------------------------------
+
+// Snapshot held-mask of the 8 slots at cells[base..base+8): 0x80 at each
+// held lane (lane = slot - base). Caller guarantees base + 8 <= n. The
+// batch-free paths use it to verify a whole run of same-word names with
+// one load instead of one held() read per name.
+inline std::uint64_t held_lanes(const sync::TasCell* cells,
+                                std::uint64_t base) {
+  return detail::held_mask(detail::load_word(cells, base));
+}
+
+// Claim up to `want` clear slots in [begin, end), invoking fn(slot) per
+// claimed slot and returning how many were claimed. One SWAR load yields
+// a word's whole clear-mask and the claimer TASes several bits out of it
+// before moving on — the amortization behind the batch Get paths, where
+// the per-byte engines would re-walk the range per name. `n` bounds the
+// cells array itself (word loads stop short of it; the tail goes
+// per-byte), and lanes past `end` are masked off so a window clipped at
+// a batch boundary never claims a neighbor's slot. A lane that flips
+// held between the snapshot and the TAS is simply skipped: the mask is a
+// hint, the TAS is the claim.
+template <typename Fn>
+std::size_t claim_clear(sync::TasCell* cells, std::uint64_t begin,
+                        std::uint64_t end, std::uint64_t n, std::size_t want,
+                        Fn&& fn) {
+  std::size_t claimed = 0;
+  std::uint64_t i = begin;
+  for (; i + 8 <= n && i < end && claimed < want; i += 8) {
+    std::uint64_t mask = detail::clear_mask(detail::load_word(cells, i));
+    if (end - i < 8) {
+      mask &= (std::uint64_t{1} << (8 * (end - i))) - 1;
+    }
+    while (mask != 0 && claimed < want) {
+      const std::uint64_t slot =
+          i + (static_cast<std::uint64_t>(__builtin_ctzll(mask)) >> 3);
+      mask &= mask - 1;
+      if (cells[slot].try_acquire()) {
+        fn(slot);
+        ++claimed;
+      }
+    }
+  }
+  for (; i < end && claimed < want; ++i) {
+    if (cells[i].try_acquire()) {
+      fn(i);
+      ++claimed;
+    }
+  }
+  return claimed;
+}
+
 // --- bit-domain sibling -------------------------------------------------
 
 // Same contract as for_each_held for the bit-per-slot layout: fn(index)

@@ -21,6 +21,14 @@
 //     (see thread_cache.hpp), on collect(), and when every shard refuses
 //     a Get (parked names are reclaimable capacity — draining restores
 //     the global progress guarantee).
+//   * Batching: get_batch/free_batch amortize the shared-state traffic
+//     across k names — one gate fetch_add(k) per shard sweep (with an
+//     exact refund on partial refusal), one cache-stack walk to pop or
+//     park the whole batch, and shard-grouped direct releases taking one
+//     gate fetch_sub per run. A batch may be granted partially when
+//     every shard refuses (see the api batch contract); free_batch
+//     validates the whole batch against the held-bitmap before touching
+//     any shared state.
 //
 // The cache is deliberately not a locked container: each entry ("bin")
 // is a single std::atomic<uint64_t> holding name+1, 0 when empty. The
@@ -61,6 +69,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/renamer.hpp"
 #include "core/slot_scan.hpp"
 #include "core/types.hpp"
 #include "scale/thread_cache.hpp"
@@ -233,6 +242,83 @@ class ShardedRenamer {
     }
   }
 
+  // Batch claim: pop parked names in one walk down the cache stack, then
+  // reserve each shard's gate with a single fetch_add(k) — refunding the
+  // unused remainder exactly on partial refusal — and claim the accepted
+  // count through the inner structure's own batch surface (the gate
+  // reservation is what lets the inner total claim run to completion).
+  // May grant fewer than k (even zero) when every shard refuses after a
+  // cache drain: partial batches hand the retry decision to the caller
+  // instead of spinning here, which is the api batch contract.
+  template <typename Rng>
+  std::size_t get_batch(Rng& rng, GetResult* out, std::size_t k) {
+    if (k == 0) return 0;
+    detail::CacheSlot* cache =
+        config_.cache_capacity != 0 ? cache_slot() : nullptr;
+    std::size_t granted = 0;
+    if (cache != nullptr) {
+      granted = pop_parked_batch(*cache, out, k);
+      if (granted == k) return granted;
+    }
+    const std::uint32_t home =
+        cache != nullptr ? cache->home_shard : hashed_home();
+    const std::size_t first_shared = granted;
+    bool drained = false;
+    for (;;) {
+      std::uint32_t refusals = 0;
+      for (std::uint32_t i = 0; i < config_.shards && granted < k; ++i) {
+        const std::uint32_t s = ring(home, i);
+        detail::ShardCounters& count = *counts_[s];
+        const std::uint64_t want = k - granted;
+        const std::uint64_t prev =
+            count.occupancy.fetch_add(want, std::memory_order_relaxed);
+        const std::uint64_t room = prev < gates_[s] ? gates_[s] - prev : 0;
+        const std::uint64_t accepted = room < want ? room : want;
+        if (accepted < want) {
+          // Exact refund of the unclaimable remainder; the gate never
+          // drifts past what this sweep actually takes.
+          count.occupancy.fetch_sub(want - accepted,
+                                    std::memory_order_relaxed);
+          count.refusals.fetch_add(1, std::memory_order_relaxed);
+          ++refusals;
+        }
+        if (accepted == 0) continue;
+        std::size_t got = 0;
+        try {
+          got = api::get_batch(*shards_[s], rng, out + granted,
+                               static_cast<std::size_t>(accepted));
+        } catch (...) {
+          count.occupancy.fetch_sub(accepted, std::memory_order_relaxed);
+          throw;
+        }
+        if (got < accepted) {
+          count.occupancy.fetch_sub(accepted - got,
+                                    std::memory_order_relaxed);
+        }
+        count.shared_gets.fetch_add(got, std::memory_order_relaxed);
+        for (std::size_t g = 0; g < got; ++g) {
+          GetResult inner = out[granted + g];
+          out[granted + g] = grant(
+              (static_cast<std::uint64_t>(s) << stride_shift_) | inner.name,
+              inner.probes, inner);
+        }
+        granted += got;
+      }
+      if (granted > first_shared && refusals != 0) {
+        // Same accounting as get(): overflow probes past full shards ride
+        // on the sweep's first shard-claimed result.
+        out[first_shared].probes += refusals;
+      }
+      if (granted > 0) return granted;
+      if (drained) return 0;
+      // Every shard refused and the cache had nothing: parked names are
+      // the reclaimable capacity — drain once, sweep again, and only
+      // then report the refusal upward.
+      drain_caches();
+      drained = true;
+    }
+  }
+
   void free(std::uint64_t name) {
     if (name >= total_slots_ ||
         (name & (stride_ - 1)) >=
@@ -258,6 +344,42 @@ class ShardedRenamer {
         ->direct_frees.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // Batch free: validate and clear every held bit first — catching
+  // out-of-range names, double frees, and duplicates inside the batch —
+  // then distribute the whole batch at once: one walk parks into the
+  // cache with a single stats update, and the overflow releases straight
+  // to the shards in shard-grouped runs so each gate takes one fetch_sub
+  // per run instead of one per name. On a bad name the already-cleared
+  // prefix is distributed before the throw, so a throwing batch has
+  // freed exactly the names before the one it reports (the api batch
+  // contract, matching the single-op fallback loop).
+  void free_batch(const std::uint64_t* names, std::size_t k) {
+    std::size_t cleared = 0;
+    try {
+      for (; cleared < k; ++cleared) {
+        const std::uint64_t name = names[cleared];
+        if (name >= total_slots_ ||
+            (name & (stride_ - 1)) >=
+                local_bounds_[static_cast<std::size_t>(name >>
+                                                       stride_shift_)]) {
+          throw std::out_of_range(
+              "ShardedRenamer::free_batch: name out of range");
+        }
+        // Clearing as we validate is also the duplicate detector: the
+        // second occurrence of a name inside the batch reads clear here.
+        if (!held_[name].held()) {
+          throw std::logic_error(
+              "ShardedRenamer::free_batch: name not held (double free?)");
+        }
+        held_[name].release();
+      }
+    } catch (...) {
+      distribute_freed(names, cleared);
+      throw;
+    }
+    distribute_freed(names, k);
+  }
+
   // Logically held names: drains every cache first (so the shards' own
   // state agrees with the logical state at the audit point), then
   // word-scans the dense held-bitmap.
@@ -277,6 +399,12 @@ class ShardedRenamer {
 
   std::uint32_t num_shards() const { return config_.shards; }
   std::uint64_t shard_stride() const { return stride_; }
+  // Shard `index`'s current gate reservation (racy snapshot). At
+  // quiescence with drained caches it must equal the shard's true holds
+  // — the batch tests pin the no-drift acceptance criterion on it.
+  std::uint64_t gate_occupancy(std::uint32_t index) const {
+    return counts_[index]->occupancy.load(std::memory_order_relaxed);
+  }
   const Inner& shard(std::uint32_t index) const { return *shards_[index]; }
   const ShardedConfig& config() const { return config_; }
 
@@ -383,6 +511,73 @@ class ShardedRenamer {
     }
     cache.top = 0;
     return 0;
+  }
+
+  // Owner-only: pop up to k parked names in one walk down the stack —
+  // same exchange-per-bin protocol as pop_parked, but the stack hint and
+  // the hits stat are written once per walk instead of once per name.
+  // After the walk every bin at or above the new top is zero, so the
+  // park invariant is preserved.
+  std::size_t pop_parked_batch(detail::CacheSlot& cache, GetResult* out,
+                               std::size_t k) {
+    std::atomic<std::uint64_t>* bins = bins_.data() + cache.first;
+    std::size_t popped = 0;
+    std::uint32_t i = cache.top;
+    while (i > 0 && popped < k) {
+      --i;
+      if (bins[i].load(std::memory_order_relaxed) == 0) continue;
+      const std::uint64_t token =
+          bins[i].exchange(0, std::memory_order_acquire);
+      if (token != 0) {
+        out[popped++] = grant(token - 1, /*probes=*/1);
+      }
+    }
+    cache.top = i;
+    if (popped != 0) {
+      cache.hits.store(cache.hits.load(std::memory_order_relaxed) + popped,
+                       std::memory_order_relaxed);
+    }
+    return popped;
+  }
+
+  // Distribute a batch of already-cleared names: fill the cache stack up
+  // to capacity in one walk (per-name park() would re-check overflow and
+  // bump the stats every time), then release the overflow straight to
+  // the shards in shard-grouped runs — inner frees first, then one gate
+  // fetch_sub for the whole run, so the gate keeps upper-bounding the
+  // shard's true holds throughout. Precondition: the held bits for
+  // names[0..count) are cleared and the caller owns the names
+  // exclusively; nothing here throws short of real corruption.
+  void distribute_freed(const std::uint64_t* names, std::size_t count) {
+    std::size_t i = 0;
+    if (config_.cache_capacity != 0) {
+      if (detail::CacheSlot* cache = cache_slot()) {
+        std::atomic<std::uint64_t>* bins = bins_.data() + cache->first;
+        std::uint32_t top = cache->top;
+        while (i < count && top < config_.cache_capacity) {
+          bins[top++].store(names[i++] + 1, std::memory_order_release);
+        }
+        cache->top = top;
+        if (i != 0) {
+          cache->parked.store(
+              cache->parked.load(std::memory_order_relaxed) + i,
+              std::memory_order_relaxed);
+        }
+      }
+    }
+    while (i < count) {
+      const auto s =
+          static_cast<std::uint32_t>(names[i] >> stride_shift_);
+      std::size_t run = 0;
+      while (i < count &&
+             static_cast<std::uint32_t>(names[i] >> stride_shift_) == s) {
+        shards_[s]->free(names[i] & (stride_ - 1));
+        ++i;
+        ++run;
+      }
+      counts_[s]->occupancy.fetch_sub(run, std::memory_order_relaxed);
+      counts_[s]->direct_frees.fetch_add(run, std::memory_order_relaxed);
+    }
   }
 
   // Owner-only: park `name` at the stack top. Invariant: every nonzero

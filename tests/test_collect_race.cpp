@@ -11,6 +11,11 @@
 // where a concurrent collect() additionally *drains* the other threads'
 // cache bins mid-churn — the cache-steal protocol under instrumentation.
 //
+// A third section churns the sharded layer through the *batch* surface
+// (Get-k/Free-k, k<=4): multi-claim word scans, the fetch_add(k) gate
+// with its partial-refusal refund, and whole-bin parking all race the
+// scanner's collect()/drain_caches() steals.
+//
 // Assertions are racy-snapshot-shaped (a concurrent scan may see any
 // interleaving — a non-atomic scan can even count a couple more slots
 // than the instantaneous holds): every collected name in range, counts
@@ -129,6 +134,108 @@ void run_race(Array& array, std::uint64_t capacity, std::uint32_t workers,
   std::printf("ok   %s\n", what);
 }
 
+// Batch-surface variant: workers exchange names in k<=4 batches. A
+// worker takes whatever get_batch grants (the gate may refuse partially
+// near the bound) and backs off on a zero grant instead of spinning —
+// progress is guaranteed because a refused worker eventually frees.
+template <typename Array>
+void run_batch_race(Array& array, std::uint64_t capacity,
+                    std::uint32_t workers, std::uint64_t ops_per_worker,
+                    const char* what) {
+  const std::uint64_t target = (capacity - 2 * workers) / workers;
+  std::atomic<bool> done{false};
+  la::sync::SpinBarrier barrier(workers + 1);
+  std::vector<std::vector<std::uint64_t>> leftovers(workers);
+  std::vector<std::string> errors(workers);
+
+  {
+    la::sync::ThreadGroup group;
+    group.spawn(workers, [&](std::uint32_t tid) {
+      la::rng::MarsagliaXorshift rng(la::rng::mix_seed(4096, tid));
+      std::vector<std::uint64_t>& held = leftovers[tid];
+      held.reserve(static_cast<std::size_t>(target));
+      std::vector<la::GetResult> got(4);
+      std::vector<std::uint64_t> victims(4);
+      la::sync::Backoff backoff;
+      try {
+        barrier.wait();
+        for (std::uint64_t op = 0; op < ops_per_worker; ++op) {
+          if (held.size() >= target ||
+              (!held.empty() && la::rng::bounded(rng, 4) == 0)) {
+            std::size_t m =
+                1 + static_cast<std::size_t>(la::rng::bounded(rng, 4));
+            if (m > held.size()) m = held.size();
+            for (std::size_t i = 0; i < m; ++i) {
+              const std::uint64_t victim =
+                  la::rng::bounded(rng, held.size());
+              victims[i] = held[victim];
+              held[victim] = held.back();
+              held.pop_back();
+            }
+            array.free_batch(victims.data(), m);
+          } else {
+            std::size_t k =
+                1 + static_cast<std::size_t>(la::rng::bounded(rng, 4));
+            const std::uint64_t room = target - held.size();
+            if (k > room) k = static_cast<std::size_t>(room);
+            const std::size_t granted = array.get_batch(rng, got.data(), k);
+            for (std::size_t i = 0; i < granted; ++i) {
+              held.push_back(got[i].name);
+            }
+            if (granted == 0) backoff.pause();
+          }
+        }
+      } catch (const std::exception& e) {
+        errors[tid] = e.what();
+      }
+      done.store(true, std::memory_order_release);
+    });
+
+    constexpr std::uint64_t kMinScans = 50;
+    barrier.wait();
+    std::vector<std::uint64_t> out;
+    std::uint64_t scans = 0;
+    while (!done.load(std::memory_order_acquire) || scans < kMinScans) {
+      // Alternate the full collect (which itself steals the bins) with a
+      // bare drain_caches(), so the steal path also runs without the
+      // scan right behind it.
+      if ((scans & 1) != 0) array.drain_caches();
+      out.clear();
+      const std::size_t found = array.collect(out);
+      CHECK_MSG(found == out.size(), what);
+      CHECK_MSG(found <= array.total_slots(), what);
+      for (const auto name : out) {
+        if (name >= array.total_slots()) {
+          CHECK_MSG(name < array.total_slots(), what);
+          break;
+        }
+      }
+      ++scans;
+    }
+    CHECK_MSG(scans > 0, what);
+  }
+
+  for (std::uint32_t tid = 0; tid < workers; ++tid) {
+    CHECK_MSG(errors[tid].empty(), errors[tid].c_str());
+  }
+
+  std::set<std::uint64_t> expected;
+  for (const auto& held : leftovers) {
+    expected.insert(held.begin(), held.end());
+  }
+  std::vector<std::uint64_t> collected;
+  array.collect(collected);
+  CHECK_MSG(std::set<std::uint64_t>(collected.begin(), collected.end()) ==
+                expected,
+            what);
+  for (const auto& held : leftovers) {
+    if (!held.empty()) array.free_batch(held.data(), held.size());
+  }
+  collected.clear();
+  CHECK_MSG(array.collect(collected) == 0, what);
+  std::printf("ok   %s\n", what);
+}
+
 }  // namespace
 
 int main() {
@@ -198,6 +305,23 @@ int main() {
              "sharded:level/collect-drain-vs-park",
              [](scale::ShardedRenamer<core::LevelArray>& a,
                 std::vector<std::uint64_t>& out) { return a.collect(out); });
+  }
+
+  // Sharded scale layer, batch surface: concurrent get_batch/free_batch
+  // (amortized gate RMWs, multi-claim word scans, whole-bin parking)
+  // racing collect() and bare drain_caches() steals.
+  {
+    scale::ShardedConfig config;
+    config.shards = 4;
+    config.cache_capacity = 16;
+    scale::ShardedRenamer<core::LevelArray> array(
+        config, [](std::uint32_t) {
+          core::LevelArrayConfig inner;
+          inner.capacity = kCapacity / 4;
+          return std::make_unique<core::LevelArray>(inner);
+        });
+    run_batch_race(array, kCapacity, kWorkers, kOps,
+                   "sharded:level/batch-churn-vs-collect-drain");
   }
 
   if (failures != 0) {

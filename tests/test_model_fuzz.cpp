@@ -6,13 +6,17 @@
 //
 // Two modes per structure:
 //
-//   * sequential: one thread drives a random op mix (Get / Free of a
-//     random held name / Collect / deliberate double-free and
+//   * sequential: one thread drives a random op mix (Get / Get-k / Free /
+//     Free-k of random held names / Collect / deliberate double-free and
 //     out-of-range-free probes) and after every step the structure must
-//     agree with the model exactly;
+//     agree with the model exactly — batch and single ops are drawn from
+//     the same trace, so a native batch surface that diverges from the
+//     single-op semantics (api::get_batch falls back to a loop where a
+//     structure has none) breaks the model comparison immediately;
 //   * phased-concurrent: worker threads run random Get/Free rounds
-//     against private models with a collect() audit at every quiescent
-//     barrier — cross-thread uniqueness falls out of the audit (a name
+//     (batched about half the time, retrying partial gate grants under
+//     Backoff) against private models with a collect() audit at every
+//     quiescent barrier — cross-thread uniqueness falls out of the audit (a name
 //     in two models would collide in the union), and for the sharded
 //     variants the audit's cache drain runs against freshly parked
 //     names round after round.
@@ -145,7 +149,7 @@ void fuzz_sequential(Array& array, const FuzzCase& fuzz) {
         fail(fuzz, trace, "collect() disagrees with the reference model");
         return;
       }
-    } else if (roll < 55 && model.size() < fuzz.capacity) {
+    } else if (roll < 42 && model.size() < fuzz.capacity) {
       const auto r = array.get(rng);
       std::snprintf(buf, sizeof(buf), "get -> %llu (%u probes)",
                     static_cast<unsigned long long>(r.name), r.probes);
@@ -163,7 +167,43 @@ void fuzz_sequential(Array& array, const FuzzCase& fuzz) {
         return;
       }
       held.push_back(r.name);
-    } else if (!held.empty()) {
+    } else if (roll < 55 && model.size() < fuzz.capacity) {
+      // Get-k through the api surface (native batch path where the
+      // structure has one, the single-op fallback elsewhere). Capped at
+      // the remaining capacity, so a full grant is always reachable; a
+      // gate-bounded structure may still grant partially — retry the
+      // remainder, which sequentially succeeds after its internal drain.
+      const std::uint64_t room = fuzz.capacity - model.size();
+      std::size_t k = 1 + static_cast<std::size_t>(la::rng::bounded(rng, 8));
+      if (k > room) k = static_cast<std::size_t>(room);
+      std::vector<la::GetResult> got(k);
+      std::size_t have = 0;
+      la::sync::Backoff backoff;
+      while (have < k) {
+        const std::size_t granted =
+            la::api::get_batch(array, rng, got.data() + have, k - have);
+        have += granted;
+        if (have < k && granted == 0) backoff.pause();
+      }
+      std::snprintf(buf, sizeof(buf), "get_batch(k=%zu)", k);
+      trace.note(buf);
+      for (std::size_t i = 0; i < k; ++i) {
+        if (got[i].name >= array.total_slots()) {
+          fail(fuzz, trace, "get_batch returned a name >= total_slots()");
+          return;
+        }
+        if (got[i].probes < 1) {
+          fail(fuzz, trace, "get_batch reported zero probes");
+          return;
+        }
+        if (!model.insert(got[i].name).second) {
+          fail(fuzz, trace,
+               "get_batch returned a name the model already holds");
+          return;
+        }
+        held.push_back(got[i].name);
+      }
+    } else if (roll < 80 && !held.empty()) {
       const std::uint64_t victim = la::rng::bounded(rng, held.size());
       const std::uint64_t name = held[victim];
       trace.note("free(" + std::to_string(name) + ")");
@@ -173,6 +213,26 @@ void fuzz_sequential(Array& array, const FuzzCase& fuzz) {
       model.erase(name);
       recently_freed.push_back(name);
       if (recently_freed.size() > 8) recently_freed.erase(
+          recently_freed.begin());
+    } else if (!held.empty()) {
+      // Free-k of distinct random victims through the api surface.
+      std::size_t m = 1 + static_cast<std::size_t>(la::rng::bounded(rng, 8));
+      if (m > held.size()) m = held.size();
+      std::vector<std::uint64_t> victims(m);
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::uint64_t victim = la::rng::bounded(rng, held.size());
+        victims[i] = held[victim];
+        held[victim] = held.back();
+        held.pop_back();
+      }
+      std::snprintf(buf, sizeof(buf), "free_batch(m=%zu)", m);
+      trace.note(buf);
+      la::api::free_batch(array, victims.data(), m);
+      for (std::size_t i = 0; i < m; ++i) {
+        model.erase(victims[i]);
+        recently_freed.push_back(victims[i]);
+      }
+      while (recently_freed.size() > 8) recently_freed.erase(
           recently_freed.begin());
     }
   }
@@ -210,19 +270,64 @@ void fuzz_phased(Array& array, const FuzzCase& fuzz, std::uint32_t threads,
     group.spawn(threads, [&](std::uint32_t tid) {
       Worker& w = workers[tid];
       la::rng::MarsagliaXorshift rng(la::rng::mix_seed(fuzz.seed, tid + 71));
+      std::vector<la::GetResult> got;
+      std::vector<std::uint64_t> victims;
       try {
         for (std::uint32_t round = 0; round < rounds; ++round) {
           barrier.wait();  // round opens
           for (std::uint32_t op = 0; op < ops_per_round; ++op) {
             const bool can_get = w.held.size() < share;
+            // Batch about half the ops, so concurrent get_batch races
+            // steal-drain, collect(), and other threads' single ops.
+            const bool batched = la::rng::bounded(rng, 2) == 0;
             if (!w.held.empty() &&
                 (!can_get || la::rng::bounded(rng, 2) == 0)) {
-              const std::uint64_t victim =
-                  la::rng::bounded(rng, w.held.size());
-              array.free(w.held[victim]);
-              w.model.erase(w.held[victim]);
-              w.held[victim] = w.held.back();
-              w.held.pop_back();
+              if (batched) {
+                std::size_t m =
+                    1 + static_cast<std::size_t>(la::rng::bounded(rng, 4));
+                if (m > w.held.size()) m = w.held.size();
+                victims.resize(m);
+                for (std::size_t i = 0; i < m; ++i) {
+                  const std::uint64_t victim =
+                      la::rng::bounded(rng, w.held.size());
+                  victims[i] = w.held[victim];
+                  w.held[victim] = w.held.back();
+                  w.held.pop_back();
+                }
+                la::api::free_batch(array, victims.data(), m);
+                for (std::size_t i = 0; i < m; ++i) {
+                  w.model.erase(victims[i]);
+                }
+              } else {
+                const std::uint64_t victim =
+                    la::rng::bounded(rng, w.held.size());
+                array.free(w.held[victim]);
+                w.model.erase(w.held[victim]);
+                w.held[victim] = w.held.back();
+                w.held.pop_back();
+              }
+            } else if (can_get && batched) {
+              std::size_t k =
+                  1 + static_cast<std::size_t>(la::rng::bounded(rng, 4));
+              const std::size_t room = share - w.held.size();
+              if (k > room) k = room;
+              got.resize(k);
+              std::size_t have = 0;
+              la::sync::Backoff backoff;
+              while (have < k) {
+                const std::size_t granted =
+                    la::api::get_batch(array, rng, got.data() + have,
+                                       k - have);
+                have += granted;
+                if (have < k && granted == 0) backoff.pause();
+              }
+              for (std::size_t i = 0; i < k; ++i) {
+                if (!w.model.insert(got[i].name).second) {
+                  throw std::logic_error(
+                      "worker granted a duplicate name (batch)");
+                }
+                w.held.push_back(got[i].name);
+              }
             } else if (can_get) {
               const auto r = array.get(rng);
               if (!w.model.insert(r.name).second) {

@@ -15,6 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "api/renamer.hpp"
+#include "arrays/random_array.hpp"
 #include "core/level_array.hpp"
 #include "rng/rng.hpp"
 #include "scale/sharded.hpp"
@@ -261,6 +263,149 @@ void check_routing_edges() {
   CHECK(one.capacity() == 4);
 }
 
+std::uint64_t gate_sum(const Sharded& array) {
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < array.num_shards(); ++s) {
+    total += array.gate_occupancy(s);
+  }
+  return total;
+}
+
+void check_batch_partial_refusal_and_refund() {
+  current = "batch-partial-refusal";
+  la::scale::ShardedConfig config;
+  config.shards = 4;
+  config.cache_capacity = 0;  // every exchange hits the gates directly
+  Sharded array = make_sharded(config, 16);  // capacity 64
+  la::rng::MarsagliaXorshift rng(21);
+
+  // Ask for more than the whole structure holds: the grant must stop at
+  // capacity exactly, and the refused remainder must be refunded at the
+  // gates (not leak as phantom occupancy).
+  std::vector<la::GetResult> got(80);
+  const std::size_t granted = array.get_batch(rng, got.data(), 80);
+  CHECK(granted == 64);
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < granted; ++i) {
+    CHECK(seen.insert(got[i].name).second);
+    CHECK(got[i].probes >= 1);
+  }
+  CHECK(gate_sum(array) == 64);
+
+  // Saturated: a further batch must refuse outright (grant zero), again
+  // without disturbing the gates.
+  CHECK(array.get_batch(rng, got.data(), 8) == 0);
+  CHECK(gate_sum(array) == 64);
+
+  // Free everything in one batch; with the cache off the gates must
+  // read exactly empty, and the full capacity must be re-claimable.
+  std::vector<std::uint64_t> names(seen.begin(), seen.end());
+  array.free_batch(names.data(), names.size());
+  CHECK(gate_sum(array) == 0);
+  CHECK(array.get_batch(rng, got.data(), 64) == 64);
+  for (std::size_t i = 0; i < 64; ++i) names[i] = got[i].name;
+  array.free_batch(names.data(), 64);
+  std::vector<std::uint64_t> collected;
+  CHECK(array.collect(collected) == 0);
+}
+
+void check_batch_gate_accounting_with_cache() {
+  current = "batch-gate-accounting";
+  la::scale::ShardedConfig config;
+  config.shards = 2;
+  config.cache_capacity = 8;
+  config.cache_flush_batch = 8;
+  Sharded array = make_sharded(config, 8);  // capacity 16
+  la::rng::MarsagliaXorshift rng(22);
+
+  std::vector<la::GetResult> got(16);
+  CHECK(array.get_batch(rng, got.data(), 16) == 16);
+  std::vector<std::uint64_t> names;
+  for (const auto& r : got) names.push_back(r.name);
+
+  // Free 10: the first 8 park in this thread's cache (still counted at
+  // the gate — parked slots are occupied), the overflow 2 release
+  // directly. Gate total must be holds (6) + parked (8).
+  array.free_batch(names.data(), 10);
+  CHECK(gate_sum(array) == 14);
+  CHECK(array.stats().parked_frees == 8);
+  CHECK(array.stats().direct_frees == 2);
+
+  // Draining the parked names must hand their gate slots back exactly.
+  array.drain_caches();
+  CHECK(gate_sum(array) == 6);
+  array.free_batch(names.data() + 10, 6);
+  array.drain_caches();
+  CHECK(gate_sum(array) == 0);
+  std::vector<std::uint64_t> collected;
+  CHECK(array.collect(collected) == 0);
+}
+
+void check_batch_error_contract() {
+  current = "batch-error-contract";
+  la::scale::ShardedConfig config;
+  config.shards = 2;
+  config.cache_capacity = 4;
+  Sharded array = make_sharded(config, 8);
+  la::rng::MarsagliaXorshift rng(23);
+
+  std::vector<la::GetResult> got(3);
+  CHECK(array.get_batch(rng, got.data(), 3) == 3);
+
+  // A bad name mid-batch: names before it are freed, the throw surfaces,
+  // names after it stay held.
+  std::uint64_t bad_batch[3] = {got[0].name, array.total_slots() + 7,
+                                got[1].name};
+  bool threw = false;
+  try {
+    array.free_batch(bad_batch, 3);
+  } catch (const std::out_of_range&) {
+    threw = true;
+  }
+  CHECK(threw);
+  std::vector<std::uint64_t> collected;
+  CHECK(array.collect(collected) == 2);
+  std::set<std::uint64_t> left(collected.begin(), collected.end());
+  CHECK(left.count(got[1].name) == 1);
+  CHECK(left.count(got[2].name) == 1);
+
+  // A duplicate within one batch is a double free: the first occurrence
+  // frees, the second throws.
+  std::uint64_t dup_batch[2] = {got[1].name, got[1].name};
+  threw = false;
+  try {
+    array.free_batch(dup_batch, 2);
+  } catch (const std::logic_error&) {
+    threw = true;
+  }
+  CHECK(threw);
+  collected.clear();
+  CHECK(array.collect(collected) == 1);
+  CHECK(collected[0] == got[2].name);
+  array.free(got[2].name);
+  collected.clear();
+  CHECK(array.collect(collected) == 0);
+}
+
+void check_batch_fallback_surface() {
+  current = "batch-fallback";
+  // A structure with no native batch ops rides the api loop: full grant,
+  // unique names, frees restore emptiness.
+  la::arrays::RandomArray array(32, 16);
+  la::rng::MarsagliaXorshift rng(24);
+  std::vector<la::GetResult> got(10);
+  CHECK(la::api::get_batch(array, rng, got.data(), 10) == 10);
+  std::set<std::uint64_t> seen;
+  std::vector<std::uint64_t> names;
+  for (const auto& r : got) {
+    CHECK(seen.insert(r.name).second);
+    names.push_back(r.name);
+  }
+  la::api::free_batch(array, names.data(), names.size());
+  std::vector<std::uint64_t> collected;
+  CHECK(array.collect(collected) == 0);
+}
+
 }  // namespace
 
 int main() {
@@ -270,6 +415,10 @@ int main() {
   check_thread_exit_flush_and_slot_reuse();
   check_uncached_overflow_mode();
   check_routing_edges();
+  check_batch_partial_refusal_and_refund();
+  check_batch_gate_accounting_with_cache();
+  check_batch_error_contract();
+  check_batch_fallback_surface();
 
   if (failures != 0) {
     std::fprintf(stderr, "%d sharded scale-layer check(s) failed\n",
