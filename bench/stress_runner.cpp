@@ -86,8 +86,8 @@ int main(int argc, char** argv) {
 
   bench::BenchReport report_json("stress_runner");
   stats::Table table({"structure", "scenario", "events", "gets", "peak_held",
-                      "avg_trials", "worst", "backup_gets", "deep_fill",
-                      "verdict"});
+                      "avg_trials", "worst", "backup_gets", "waits", "parks",
+                      "deep_fill", "verdict"});
   int failures = 0;
   int skipped = 0;
   int executed = 0;
@@ -116,6 +116,7 @@ int main(int argc, char** argv) {
            report.invariants.events, report.invariants.gets,
            report.invariants.peak_concurrent, report.trials.average(),
            report.trials.worst_case(), report.backup_gets,
+           report.wait_rounds, report.parks,
            report.balance_checked ? report.heal_max_deep_fill : 0.0,
            std::string(report.ok()           ? "OK"
                        : report.invariants.ok() ? "UNBALANCED"
@@ -141,6 +142,10 @@ int main(int argc, char** argv) {
           .set("events", report.invariants.events)
           .set("peak_held", report.invariants.peak_concurrent)
           .set("backup_gets", report.backup_gets)
+          // Gate-refusal waiting (api::WaitStats): spin/yield retry
+          // rounds and futex parks taken once both tiers were spent.
+          .set("wait_rounds", report.wait_rounds)
+          .set("parks", report.parks)
           // Not-measured must stay distinguishable from a measured 0.0;
           // the double setter renders NaN as JSON null.
           .set("deep_fill",

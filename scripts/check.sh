@@ -2,15 +2,17 @@
 # Tiered verification (see README "Testing tiers"). With no argument,
 # every tier runs in order:
 #   1. tier-1 build + full ctest (unit + stress + smoke labels)
-#   2. bench-smoke: the --json pipeline emits parseable, nonzero reports,
-#      and the committed scaling gate holds at a smoke-sized config
-#   3. AddressSanitizer/UBSan preset, same suite
-#   4. ThreadSanitizer preset, the concurrency-bearing targets
+#   2. svc: the rename-service daemon with real forked client processes
+#   3. bench-smoke: the --json pipeline emits parseable, nonzero reports,
+#      and the committed scaling/batch/svc gates hold
+#   4. AddressSanitizer/UBSan preset, same suite
+#   5. ThreadSanitizer preset, the concurrency-bearing targets
 #
 # A single argument runs one tier against the tier-1 build:
 #   scripts/check.sh unit     # fast single-process tests only (ctest -L)
 #   scripts/check.sh stress   # real-thread suites
 #   scripts/check.sh smoke    # second-scale bench driver sweeps
+#   scripts/check.sh svc      # rename-service daemon, real processes
 #   scripts/check.sh bench-smoke | asan | tsan
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -50,6 +52,22 @@ run_bench_smoke() {
   # (cache=0 so every exchange pays the gate + probe path the batch
   # surface amortizes — the uncached regime is what the gate measures).
   python3 scripts/validate_bench_json.py --batch-gate=16 BENCH_batch.json
+  # The rename-service daemon: one server process + forked clients over
+  # the shared-memory rings, kill-one reclaim included, plus the
+  # svc-vs-in-process acceptance bar on the *committed* snapshot.
+  # Regenerate with
+  #   svc_churn --clients=4 --ops=100000 --batch=16 --kill-one \
+  #     --json=BENCH_svc.json
+  ./build/svc_churn --clients=4 --ops=100000 --batch=16 --kill-one \
+    --json=build/BENCH_svc.json > /dev/null
+  python3 scripts/validate_bench_json.py --svc-gate=16 build/BENCH_svc.json
+  python3 scripts/validate_bench_json.py --svc-gate=16 BENCH_svc.json
+}
+
+run_svc() {
+  echo "== svc: multi-process daemon smoke (1 server + 4 forked clients) =="
+  ./build/svc_churn --clients=4 --ops=100000 --batch=16 --kill-one
+  ./build/test_svc_reclaim
 }
 
 run_asan() {
@@ -70,7 +88,12 @@ run_tsan() {
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "${JOBS}" \
     --target test_stress_matrix test_renamer_contract test_collect_race \
-             test_model_fuzz stress_runner
+             test_model_fuzz test_svc_ring test_backoff_park stress_runner
+  # The svc ring + eventcount under TSan: the SPSC handshake and the
+  # park/wake protocol are where a lost fence shows up. (The fork-based
+  # svc suites stay out of TSan — it does not support multi-process.)
+  ./build-tsan/test_svc_ring
+  ./build-tsan/test_backoff_park
   ./build-tsan/test_renamer_contract
   ./build-tsan/test_collect_race
   ./build-tsan/test_model_fuzz --structure=sharded:level --seed=20260727
@@ -84,6 +107,10 @@ case "${TIER}" in
     build_tier1
     echo "== tier: ctest -L ${TIER} =="
     (cd build && ctest --output-on-failure -j "${JOBS}" -L "${TIER}")
+    ;;
+  svc)
+    build_tier1
+    run_svc
     ;;
   bench-smoke)
     build_tier1
@@ -99,12 +126,13 @@ case "${TIER}" in
     echo "== tier-1: configure + build + ctest =="
     build_tier1
     (cd build && ctest --output-on-failure -j "${JOBS}")
+    run_svc
     run_bench_smoke
     run_asan
     run_tsan
     ;;
   *)
-    echo "usage: $0 [unit|stress|smoke|bench-smoke|asan|tsan]" >&2
+    echo "usage: $0 [unit|stress|smoke|svc|bench-smoke|asan|tsan]" >&2
     exit 2
     ;;
 esac

@@ -4,7 +4,7 @@ bench-smoke tier (scripts/check.sh) and the CI bench-artifacts job run,
 so the schema contract cannot drift between the two copies.
 
 Usage: validate_bench_json.py [--scaling-gate=T] [--batch-gate=B]
-                              REPORT.json [...]
+                              [--svc-gate=B] REPORT.json [...]
 Exits nonzero if any report fails to parse, misses the schema tag, has
 no runs, has a run without positive ops_per_sec, or carries a malformed
 optional batch field (must be an integer >= 1 when present).
@@ -18,11 +18,22 @@ commits to). Only batch=1 (or batch-less) runs participate.
 BENCH_batch.json commits to): at the highest thread count where
 sharded:level has both a batch=1 and a batch=B run, the batch=B run
 must deliver at least 1.5x the batch=1 ops/s.
+
+--svc-gate=B asserts the rename-service daemon's acceptance bar (the
+claim BENCH_svc.json commits to): the multi-process svc:sharded:level
+run at batch=B must deliver at least SVC_RATIO_FLOOR of the in-process
+sharded:level baseline in the same report. The wire protocol costs two
+ring hops and a server-side execution per exchange, so the floor is a
+sanity bound against pathological regressions (a deadlocking ring or a
+park storm shows up as orders of magnitude, not percent).
 """
 import json
 import sys
 
 BATCH_SPEEDUP_FLOOR = 1.5
+# Measured ~0.02-0.05x on the 1-core reference container at batch=16,
+# clients=4; the floor leaves ~4-10x headroom for load noise.
+SVC_RATIO_FLOOR = 0.005
 
 
 def run_batch(run: dict) -> int:
@@ -87,15 +98,40 @@ def check_batch_gate(path: str, doc: dict, batch: int) -> None:
           f"{speedup:.2f}x batch=1 at {threads} threads)")
 
 
+def check_svc_gate(path: str, doc: dict, batch: int) -> None:
+    svc = baseline = None
+    for run in doc["runs"]:
+        if run_batch(run) != batch:
+            continue
+        if run.get("structure") == "svc:sharded:level":
+            svc = run["ops_per_sec"]
+        elif run.get("structure") == "sharded:level":
+            baseline = run["ops_per_sec"]
+    assert svc is not None and baseline is not None, (
+        f"{path}: --svc-gate={batch} needs a svc:sharded:level run and a "
+        f"sharded:level baseline at batch={batch} "
+        f"(have {sorted(r.get('structure') for r in doc['runs'])})")
+    ratio = svc / baseline
+    assert ratio >= SVC_RATIO_FLOOR, (
+        f"{path}: svc:sharded:level is only {ratio:.4f}x the in-process "
+        f"baseline at batch={batch} ({svc:.0f} vs {baseline:.0f} ops/s; "
+        f"floor {SVC_RATIO_FLOOR}x)")
+    print(f"{path}: svc gate ok (svc:sharded:level {ratio:.3f}x the "
+          f"in-process baseline at batch={batch})")
+
+
 if __name__ == "__main__":
     gate = None
     batch_gate = None
+    svc_gate = None
     reports = []
     for arg in sys.argv[1:]:
         if arg.startswith("--scaling-gate="):
             gate = int(arg.split("=", 1)[1])
         elif arg.startswith("--batch-gate="):
             batch_gate = int(arg.split("=", 1)[1])
+        elif arg.startswith("--svc-gate="):
+            svc_gate = int(arg.split("=", 1)[1])
         elif arg.startswith("--"):
             sys.exit(f"unknown flag {arg}\n\n{__doc__}")
         else:
@@ -108,3 +144,5 @@ if __name__ == "__main__":
             check_scaling_gate(report, parsed, gate)
         if batch_gate is not None:
             check_batch_gate(report, parsed, batch_gate)
+        if svc_gate is not None:
+            check_svc_gate(report, parsed, svc_gate)

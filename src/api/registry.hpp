@@ -39,6 +39,7 @@
 #include "arrays/sequential_scan_array.hpp"
 #include "core/level_array.hpp"
 #include "scale/sharded.hpp"
+#include "svc/service.hpp"
 
 namespace la::api {
 
@@ -212,13 +213,52 @@ struct ShardedEntry {
   }
 };
 
+// --- service variants ---------------------------------------------------
+
+// `svc:sharded:<name>`: the full rename-service daemon stack, in-process
+// (svc::ServiceRenamer owns segment + sharded structure + server workers
+// + client, and the harness talks to the client). Every op round-trips
+// the real shared-memory wire protocol, so the whole harness suite
+// doubles as a daemon soak.
+template <typename Base>
+struct SvcEntry {
+  static constexpr auto kNameBuf =
+      concat_names<24>("svc:sharded:", Base::kName);
+  static constexpr std::string_view kName = kNameBuf.view();
+  static constexpr auto kLabelBuf =
+      concat_names<32>("Svc/Sharded/", Base::kLabel);
+  static constexpr std::string_view kLabel = kLabelBuf.view();
+  static constexpr auto kAliasBuf =
+      concat_names<24>("svc-sharded-", Base::kName);
+  static constexpr std::array<std::string_view, 1> kAliases = {
+      kAliasBuf.view()};
+  static constexpr std::string_view kSummary =
+      "svc layer: rename-service daemon over the sharded structure, "
+      "driven through shared-memory SPSC rings";
+  using Structure =
+      svc::ServiceRenamer<typename ShardedEntry<Base>::Structure>;
+
+  static std::unique_ptr<Structure> make(const RenamerConfig& c) {
+    svc::ServiceConfig config;
+    config.segment.max_clients = c.svc_max_clients;
+    config.segment.ring_depth = c.svc_ring_depth;
+    config.server_threads = c.svc_server_threads;
+    return std::make_unique<Structure>(
+        config, [&c] { return ShardedEntry<Base>::make(c); });
+  }
+};
+
 using Entries =
     std::tuple<LevelEntry, RandomEntry, LinearEntry, SequentialEntry,
                BitmapEntry, IdEntry, SplitterEntry,
                ShardedEntry<LevelEntry>, ShardedEntry<RandomEntry>,
                ShardedEntry<LinearEntry>, ShardedEntry<SequentialEntry>,
                ShardedEntry<BitmapEntry>, ShardedEntry<IdEntry>,
-               ShardedEntry<SplitterEntry>>;
+               ShardedEntry<SplitterEntry>,
+               SvcEntry<LevelEntry>, SvcEntry<RandomEntry>,
+               SvcEntry<LinearEntry>, SvcEntry<SequentialEntry>,
+               SvcEntry<BitmapEntry>, SvcEntry<IdEntry>,
+               SvcEntry<SplitterEntry>>;
 
 inline constexpr std::size_t kEntryCount = std::tuple_size_v<Entries>;
 
@@ -246,6 +286,18 @@ static_assert(has_batch_ops_v<scale::ShardedRenamer<core::LevelArray>>);
 static_assert(has_batch_ops_v<scale::ShardedRenamer<arrays::RandomArray>>);
 static_assert(has_batch_ops_v<scale::ShardedRenamer<SplitterRenamer>>);
 static_assert(!has_batch_ops_v<arrays::RandomArray>);  // fallback-served
+// The service wrapper satisfies the full contract (get over the wire)
+// and carries the native batch surface — one slot ferries up to
+// svc::kMaxBatch names, so batched harness traffic amortizes the ring
+// round trip exactly like it amortizes the gate RMW.
+static_assert(
+    is_renamer_v<svc::ServiceRenamer<scale::ShardedRenamer<core::LevelArray>>>);
+static_assert(
+    has_batch_ops_v<
+        svc::ServiceRenamer<scale::ShardedRenamer<core::LevelArray>>>);
+static_assert(
+    !has_batch_occupancy_v<
+        svc::ServiceRenamer<scale::ShardedRenamer<core::LevelArray>>>);
 
 // The callable's result type must not depend on the structure; anchor the
 // deduction on the first entry's type.

@@ -73,6 +73,13 @@ struct RenamerConfig {
   // free-name cache capacity (0 disables the cache; affinity remains).
   std::uint32_t shards = 8;
   std::uint32_t name_cache_capacity = 16;
+  // svc:* variants only: the in-process rename-service daemon's shape —
+  // request/response slots per client ring (power of two), client rings
+  // in the segment (threads beyond this share ring 0 under a lock), and
+  // server worker threads draining the rings.
+  std::uint32_t svc_ring_depth = 8;
+  std::uint32_t svc_max_clients = 16;
+  std::uint32_t svc_server_threads = 1;
 
   // Both sizes go through core::scaled_slots, which rejects NaN/negative
   // factors and products past 2^53 instead of hitting the UB of an
@@ -218,6 +225,45 @@ struct has_geometry<
 
 template <typename T>
 inline constexpr bool has_geometry_v = has_geometry<T>::value;
+
+// --- waiting surfaces ---------------------------------------------------
+
+// Cumulative waiting totals for structures with a blocking tier: how
+// many retry rounds outlived the spin/yield tiers (wait_rounds) and how
+// many ended in a futex park (parks). Harness reports surface both so
+// the parked-vs-spinning tradeoff is visible, not inferred.
+struct WaitStats {
+  std::uint64_t wait_rounds = 0;
+  std::uint64_t parks = 0;
+};
+
+// Optional: T::wait_stats() -> WaitStats (racy monotonic snapshot).
+template <typename T, typename = void>
+struct has_wait_stats : std::false_type {};
+
+template <typename T>
+struct has_wait_stats<
+    T, std::void_t<decltype(std::declval<const T&>().wait_stats())>>
+    : std::is_same<decltype(std::declval<const T&>().wait_stats()),
+                   WaitStats> {};
+
+template <typename T>
+inline constexpr bool has_wait_stats_v = has_wait_stats<T>::value;
+
+// Optional: T::free_signal() -> sync::FutexWord&, an eventcount every
+// capacity-releasing path signals. Callers that see a refused batch may
+// park on it (prepare_wait, re-attempt, commit_wait) instead of
+// spin-retrying — see bench_util::detail::drive's gate-refusal loop.
+template <typename T, typename = void>
+struct has_free_signal : std::false_type {};
+
+template <typename T>
+struct has_free_signal<
+    T, std::void_t<decltype(std::declval<T&>().free_signal())>>
+    : std::true_type {};
+
+template <typename T>
+inline constexpr bool has_free_signal_v = has_free_signal<T>::value;
 
 // --- RNG dispatch -------------------------------------------------------
 

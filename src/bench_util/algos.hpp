@@ -67,6 +67,12 @@ struct RunResult {
   double throughput_ops_per_sec = 0.0;
   double mean_per_thread_worst = 0.0;  // worst case averaged over threads
   std::uint64_t backup_gets = 0;
+  // Gate-refusal waiting, summed across threads: retry rounds spent in
+  // the drive loop's spin/yield tiers plus whatever the structure itself
+  // reports (api::WaitStats), and futex parks taken once the waits
+  // outlived both tiers.
+  std::uint64_t gate_wait_rounds = 0;
+  std::uint64_t gate_parks = 0;
 };
 
 // Canonical registry key for a structure name or alias; throws
@@ -94,6 +100,8 @@ struct ThreadOutput {
   stats::TrialStats trials;
   std::uint64_t ops = 0;
   std::uint64_t backup_gets = 0;
+  std::uint64_t wait_rounds = 0;  // batched-retry refusal rounds
+  std::uint64_t parks = 0;        // futex parks on the free signal
   // The thread's stash of held names lives here so its header shares the
   // padded cache line with the thread's own counters, not a neighbor's.
   std::vector<std::uint64_t> held;
@@ -194,12 +202,35 @@ RunResult drive(Array& array, const DriverConfig& d) {
           // A gate-bounded structure may grant the batch partially —
           // retry the remainder under Backoff instead of busy-looping
           // the refusal path (oversubscribed runs would otherwise burn
-          // whole timeslices spinning).
+          // whole timeslices spinning). Structures that publish a free
+          // signal get the third tier too: once the spin and yield
+          // budgets are spent, park on the signal with the eventcount
+          // protocol (register, one re-check grab, then sleep) so a
+          // refusal storm costs a futex wait instead of timeslices.
           std::size_t want = batch;
           sync::Backoff backoff;
           while (want != 0) {
-            const std::size_t granted =
+            std::size_t granted =
                 api::get_batch(array, rng, got.data(), want);
+            if constexpr (api::has_free_signal_v<Array>) {
+              if (granted == 0 && backoff.should_park()) {
+                auto& bell = array.free_signal();
+                const std::uint32_t seen = bell.prepare_wait();
+                granted = api::get_batch(array, rng, got.data(), want);
+                if (granted != 0) {
+                  bell.cancel_wait();
+                } else if (timed &&
+                           local.elapsed_seconds() >= d.seconds) {
+                  bell.cancel_wait();
+                  break;
+                } else {
+                  ++out.parks;
+                  // Timed as a backstop; the release paths all signal,
+                  // so the common wake is the eventcount bump.
+                  bell.commit_wait_for(seen, 50'000'000ull);
+                }
+              }
+            }
             for (std::size_t j = 0; j < granted; ++j) {
               out.trials.record(got[j].probes);
               if (got[j].used_backup) ++out.backup_gets;
@@ -209,6 +240,7 @@ RunResult drive(Array& array, const DriverConfig& d) {
             want -= granted;
             if (want != 0) {
               if (timed && local.elapsed_seconds() >= d.seconds) break;
+              ++out.wait_rounds;
               backoff.pause();
             }
           }
@@ -227,12 +259,22 @@ RunResult drive(Array& array, const DriverConfig& d) {
     result.trials.merge(out.trials);
     result.total_ops += out.ops;
     result.backup_gets += out.backup_gets;
+    result.gate_wait_rounds += out.wait_rounds;
+    result.gate_parks += out.parks;
     per_thread_worst.add(static_cast<double>(out.trials.worst_case()));
     // Slowest thread's barrier-to-loop-end time: excludes spawn, join,
     // and the untimed stash drain.
     if (out.seconds_active > result.elapsed_seconds) {
       result.elapsed_seconds = out.seconds_active;
     }
+  }
+  // Structures that track their own gate waiting (the scale layer's
+  // blocking get, the svc client's response waits) fold into the same
+  // counters — read here, while the structure is still alive.
+  if constexpr (api::has_wait_stats_v<Array>) {
+    const api::WaitStats waits = array.wait_stats();
+    result.gate_wait_rounds += waits.wait_rounds;
+    result.gate_parks += waits.parks;
   }
   result.mean_per_thread_worst = per_thread_worst.mean();
   result.throughput_ops_per_sec =

@@ -74,6 +74,7 @@
 #include "core/types.hpp"
 #include "scale/thread_cache.hpp"
 #include "sync/cache.hpp"
+#include "sync/futex.hpp"
 #include "sync/spin_lock.hpp"
 #include "sync/tas_cell.hpp"
 
@@ -236,9 +237,25 @@ class ShardedRenamer {
       // Drain them back to the shards and retry — with true holds below
       // the contention bound, some shard must then accept. Back off
       // between rounds: a refusal storm can also be transient gate
-      // reservations by peers who need the timeslice to finish.
+      // reservations by peers who need the timeslice to finish. Once the
+      // spin/yield tiers are exhausted (genuine oversubscription at the
+      // contention bound), park on the free signal instead of burning
+      // CPU: register as a waiter first, re-probe, and only then sleep —
+      // the eventcount protocol, so a Free between the probe and the
+      // sleep wakes us immediately (zero lost wakeups; see futex.hpp).
       drain_caches();
-      backoff.pause();
+      gate_wait_rounds_.fetch_add(1, std::memory_order_relaxed);
+      if (!backoff.should_park()) {
+        backoff.pause();
+        continue;
+      }
+      const std::uint32_t seen = free_signal_.prepare_wait();
+      if (probe_capacity()) {
+        free_signal_.cancel_wait();
+        continue;
+      }
+      gate_parks_.fetch_add(1, std::memory_order_relaxed);
+      free_signal_.commit_wait(seen);
     }
   }
 
@@ -336,12 +353,14 @@ class ShardedRenamer {
     if (config_.cache_capacity != 0) {
       if (detail::CacheSlot* cache = cache_slot()) {
         park(*cache, name);
+        free_signal_.signal();
         return;
       }
     }
     release_to_shard(name);
     counts_[static_cast<std::size_t>(name >> stride_shift_)]
         ->direct_frees.fetch_add(1, std::memory_order_relaxed);
+    free_signal_.signal();
   }
 
   // Batch free: validate and clear every held bit first — catching
@@ -414,6 +433,18 @@ class ShardedRenamer {
   void drain_caches() const {
     drain_bins(bins_.data(), bins_.size());
     drains_.fetch_add(1, std::memory_order_relaxed);
+    free_signal_.signal();
+  }
+
+  // The eventcount every capacity-releasing path signals; gate-refused
+  // callers (see get() above and bench_util::detail::drive) park on it.
+  sync::FutexWord& free_signal() const { return free_signal_; }
+
+  api::WaitStats wait_stats() const {
+    api::WaitStats stats;
+    stats.wait_rounds = gate_wait_rounds_.load(std::memory_order_relaxed);
+    stats.parks = gate_parks_.load(std::memory_order_relaxed);
+    return stats;
   }
 
   ShardedStats stats() const {
@@ -578,6 +609,25 @@ class ShardedRenamer {
       counts_[s]->occupancy.fetch_sub(run, std::memory_order_relaxed);
       counts_[s]->direct_frees.fetch_add(run, std::memory_order_relaxed);
     }
+    if (count != 0) free_signal_.signal();
+  }
+
+  // Park-path re-check: is there any capacity a retry could claim? Gates
+  // below their bound cover true free slots; nonzero bins cover parked
+  // names (gate-counted but reclaimable via a drain). Relaxed loads are
+  // sound inside the eventcount window: a release that this probe misses
+  // happened after prepare_wait registered us, so its signal() bumps the
+  // word and commit_wait returns immediately.
+  bool probe_capacity() const {
+    for (std::uint32_t s = 0; s < config_.shards; ++s) {
+      if (counts_[s]->occupancy.load(std::memory_order_relaxed) < gates_[s]) {
+        return true;
+      }
+    }
+    for (const auto& bin : bins_) {
+      if (bin.load(std::memory_order_relaxed) != 0) return true;
+    }
+    return false;
   }
 
   // Owner-only: park `name` at the stack top. Invariant: every nonzero
@@ -666,6 +716,7 @@ class ShardedRenamer {
     detail::CacheSlot& cache = *self->caches_[slot];
     self->drain_bins(self->bins_.data() + cache.first,
                      self->config_.cache_capacity);
+    self->free_signal_.signal();  // the flush may have released capacity
     cache.top = 0;  // published to the next claimer via claim_lock_
     sync::SpinLockGuard guard(self->claim_lock_);
     self->free_slots_.push_back(slot);
@@ -689,6 +740,11 @@ class ShardedRenamer {
   std::size_t claimed_ = 0;
   std::shared_ptr<CacheControl> control_;
   mutable std::atomic<std::uint64_t> drains_{0};
+  // The blocking tier (see get()): every release path signals, refused
+  // getters park. Mutable because collect()'s drain releases capacity.
+  mutable sync::FutexWord free_signal_;
+  mutable std::atomic<std::uint64_t> gate_wait_rounds_{0};
+  mutable std::atomic<std::uint64_t> gate_parks_{0};
 };
 
 }  // namespace la::scale

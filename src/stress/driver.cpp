@@ -468,6 +468,14 @@ StressReport drive(Array& array, const StressConfig& cfg) {
   for (auto& error : driver_errors) {
     report.invariants.violations.push_back(std::move(error));
   }
+
+  // Gate-wait accounting must be read here, while the structure is still
+  // alive — api::visit destroys it when drive() returns.
+  if constexpr (api::has_wait_stats_v<Array>) {
+    const api::WaitStats waits = array.wait_stats();
+    report.wait_rounds = waits.wait_rounds;
+    report.parks = waits.parks;
+  }
   return report;
 }
 

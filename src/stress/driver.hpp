@@ -52,6 +52,11 @@ struct StressReport {
   stats::TrialStats trials;  // probes per Get, workers + healing window
   std::uint64_t total_ops = 0;
   std::uint64_t backup_gets = 0;
+  // Gate waiting as reported by the structure (api::WaitStats): retry
+  // rounds spent refused at the gate and futex parks once the spin and
+  // yield tiers were exhausted. Zero for structures without the surface.
+  std::uint64_t wait_rounds = 0;
+  std::uint64_t parks = 0;
   double elapsed_seconds = 0.0;  // slowest worker, barrier to loop end
   // Healing window (batch-occupancy structures only).
   bool balance_checked = false;

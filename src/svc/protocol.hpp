@@ -1,0 +1,85 @@
+// Wire protocol of the rename-service daemon: the opcodes and the two
+// cache-padded slot layouts that travel through the shared-memory SPSC
+// rings (see ring.hpp for the sequence-number handshake and segment.hpp
+// for where the rings live).
+//
+// Design constraints, in order:
+//   * one slot carries up to kMaxBatch (64) names, so the batched
+//     Get-k/Free-k surface from PR 6 amortizes the ring round trip the
+//     same way it amortizes the gate RMW;
+//   * every field is a flat integer — slots are written in place in the
+//     shared segment by one process and read by another, so the layout
+//     must be trivially copyable with no pointers;
+//   * each request carries the sender's pid: held-name accounting is per
+//     client *process* (names legitimately migrate between the threads
+//     of one process — prefill dealt to workers, reapers freeing
+//     leftovers), and the pid is what the crash-reclaim sweep probes.
+//
+// Opcode semantics (server side):
+//   kGetK    claim up to `count` names. The server answers as soon as it
+//            can grant at least one; a request that can grant none parks
+//            server-side on the pending list and is retried after every
+//            capacity release — the client blocks, it does not spin.
+//   kFreeK   free names[0..count). Processed in order; on the first bad
+//            name the server stops and reports the index and class, with
+//            the earlier names already freed (the api batch contract).
+//   kCollect stream the logically-held name set in kMaxBatch-sized
+//            chunks; `more` marks every chunk but the last.
+//   kDetach  the sending thread is leaving: drop any per-ring state.
+//            Fire-and-forget — no response slot is produced.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sync/cache.hpp"
+
+namespace la::svc {
+
+inline constexpr std::uint32_t kMaxBatch = 64;
+
+enum class Op : std::uint32_t {
+  kNop = 0,
+  kGetK = 1,
+  kFreeK = 2,
+  kCollect = 3,
+  kDetach = 4,
+};
+
+enum class Status : std::uint32_t {
+  kOk = 0,
+  // FreeK error classes, mapped back to the contract's exception types
+  // by the client (error_index names the offending position):
+  kOutOfRange = 1,  // -> std::out_of_range
+  kNotHeld = 2,     // -> std::logic_error (double free)
+  kForeign = 3,     // held by another client process -> std::logic_error
+  kShutdown = 4,    // server is stopping; no more responses will come
+};
+
+// Client -> server. `seq` is the ring handshake word (ring.hpp); the
+// payload is everything after it.
+struct alignas(sync::kCacheLineSize) RequestSlot {
+  std::atomic<std::uint32_t> seq{0};
+  std::uint32_t pid = 0;
+  Op op = Op::kNop;
+  std::uint32_t count = 0;
+  std::uint64_t names[kMaxBatch] = {};
+};
+
+// Server -> client. GetK fills names[] and probes[] (the per-name trial
+// counts the benches record); FreeK fills status/error_index; kCollect
+// chunks fill names[] and set `more` on every chunk but the last.
+struct alignas(sync::kCacheLineSize) ResponseSlot {
+  std::atomic<std::uint32_t> seq{0};
+  Status status = Status::kOk;
+  std::uint32_t count = 0;
+  std::uint32_t error_index = 0;
+  std::uint32_t more = 0;
+  std::uint32_t probes[kMaxBatch] = {};
+  std::uint64_t names[kMaxBatch] = {};
+};
+
+static_assert(sizeof(RequestSlot) % sync::kCacheLineSize == 0);
+static_assert(sizeof(ResponseSlot) % sync::kCacheLineSize == 0);
+
+}  // namespace la::svc

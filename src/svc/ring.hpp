@@ -1,0 +1,105 @@
+// Single-producer single-consumer ring over raw (shared-memory) slots,
+// synchronized per slot by an acquire/release sequence number — the
+// Vyukov handshake restricted to SPSC:
+//
+//   init:      slot[i].seq = i                      (i in [0, capacity))
+//   producer:  wait slot[p & mask].seq == p         (acquire: slot free)
+//              write payload
+//              slot.seq.store(p + 1, release)       (publish), p += 1
+//   consumer:  wait slot[c & mask].seq == c + 1     (acquire: published)
+//              read payload
+//              slot.seq.store(c + capacity, release) (recycle), c += 1
+//
+// The slot's seq is the only shared synchronization word: the producer's
+// release store publishes the payload, the consumer's acquire load
+// receives it, and the recycle store hands the slot back for lap p/cap+1.
+// Positions are free-running uint32s; with power-of-two capacities the
+// mod-2^32 arithmetic stays exact across wraparound (test_svc_ring spins
+// multiple laps at capacities 2 and 64, straight through the uint32
+// boundary, to pin this).
+//
+// Capacity 1 is rejected: with one slot, "published at p" (seq == p+1)
+// and "free for p+1" (seq == p+1) are the same value, so a producer one
+// position ahead would overwrite the unconsumed slot and the consumer
+// would wedge. The handshake needs capacity >= 2 to keep the two states
+// a lap apart (test_svc_ring pins the rejection too).
+//
+// The ring view is stateless over the slot array — cursors belong to the
+// endpoints. Each endpoint persists its cursor in shared memory (see
+// segment.hpp RingCursors) so a ring can be handed from one claimant to
+// the next (thread exit -> new thread, dead process -> reclaim) without
+// resetting slots mid-stream.
+//
+// Blocking is the callers' business (the client parks on the response
+// bell, the server on the global doorbell): the view only offers
+// try_/commit_ pairs so it composes with the eventcount protocol.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace la::svc {
+
+// True iff `capacity` is a usable ring size: a power of two >= 2 (one
+// slot cannot distinguish published-at-p from free-for-p+1; see above).
+constexpr bool valid_ring_capacity(std::uint32_t capacity) {
+  return capacity >= 2 && (capacity & (capacity - 1)) == 0;
+}
+
+// Slot must expose `std::atomic<std::uint32_t> seq` (protocol.hpp).
+template <typename Slot>
+class RingView {
+ public:
+  RingView(Slot* slots, std::uint32_t capacity)
+      : slots_(slots), mask_(capacity - 1), capacity_(capacity) {}
+
+  std::uint32_t capacity() const { return capacity_; }
+
+  // Called once by the segment creator before any endpoint attaches.
+  void initialize() {
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  // Reset to "empty at position `pos`" — the dead-client reclaim path,
+  // where the producer is provably gone and half-written slots must be
+  // discarded. Never valid while the producer lives.
+  void reset_empty_at(std::uint32_t pos) {
+    for (std::uint32_t j = 0; j < capacity_; ++j) {
+      slots_[(pos + j) & mask_].seq.store(pos + j, std::memory_order_relaxed);
+    }
+  }
+
+  // Producer: the slot to fill at position `pos`, or nullptr while the
+  // consumer is still a full lap behind (ring full).
+  Slot* try_begin_push(std::uint32_t pos) {
+    Slot& slot = slots_[pos & mask_];
+    return slot.seq.load(std::memory_order_acquire) == pos ? &slot : nullptr;
+  }
+
+  // Publish the payload written into `slot` (from try_begin_push(pos)).
+  void commit_push(Slot& slot, std::uint32_t pos) {
+    slot.seq.store(pos + 1, std::memory_order_release);
+  }
+
+  // Consumer: the published slot at position `pos`, or nullptr while the
+  // producer has not reached it.
+  Slot* try_begin_pop(std::uint32_t pos) {
+    Slot& slot = slots_[pos & mask_];
+    return slot.seq.load(std::memory_order_acquire) == pos + 1 ? &slot
+                                                               : nullptr;
+  }
+
+  // Recycle the slot read at `pos` back to the producer for the next lap.
+  void commit_pop(Slot& slot, std::uint32_t pos) {
+    slot.seq.store(pos + capacity_, std::memory_order_release);
+  }
+
+ private:
+  Slot* slots_;
+  std::uint32_t mask_;
+  std::uint32_t capacity_;
+};
+
+}  // namespace la::svc

@@ -1,0 +1,92 @@
+#include "svc/segment.hpp"
+
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define LA_SVC_HAVE_MMAP 1
+#else
+#define LA_SVC_HAVE_MMAP 0
+#endif
+
+namespace la::svc {
+
+namespace {
+
+SegmentConfig sanitized(SegmentConfig config) {
+  if (config.max_clients == 0) config.max_clients = 1;
+  if (!valid_ring_capacity(config.ring_depth)) {
+    throw std::invalid_argument(
+        "svc::Segment: ring_depth must be a power of two >= 2, got " +
+        std::to_string(config.ring_depth));
+  }
+  return config;
+}
+
+}  // namespace
+
+std::size_t SegmentView::bytes_required(const SegmentConfig& config) {
+  const std::size_t rings = std::size_t{config.max_clients};
+  return sizeof(Header) + sizeof(ClientSlot) * rings +
+         sizeof(RequestSlot) * rings * config.ring_depth +
+         sizeof(ResponseSlot) * rings * config.ring_depth;
+}
+
+Segment::Segment(const SegmentConfig& config) : config_(sanitized(config)) {
+  bytes_ = SegmentView::bytes_required(config_);
+#if LA_SVC_HAVE_MMAP
+  // MAP_SHARED | MAP_ANONYMOUS: inherited by fork() at the same address,
+  // with stores visible across the processes — exactly the lifetime the
+  // daemon needs, with no filesystem name to leak on a crash.
+  void* mapped = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mapped == MAP_FAILED) {
+    throw std::runtime_error("svc::Segment: mmap of " +
+                             std::to_string(bytes_) + " bytes failed");
+  }
+  base_ = mapped;
+#else
+  // No mmap: plain heap memory. Single-process use (the registry's
+  // in-process daemon) still works; fork-based harnesses do not.
+  base_ = ::operator new(bytes_, std::align_val_t{sync::kCacheLineSize});
+#endif
+
+  // Placement-construct every structure once, creator-side, before any
+  // endpoint attaches (fork or server start happens after construction).
+  SegmentView v = view();
+  Header* header = new (base_) Header{};
+  header->max_clients = config_.max_clients;
+  header->ring_depth = config_.ring_depth;
+  for (std::uint32_t i = 0; i < config_.max_clients; ++i) {
+    new (&v.client_slot(i)) ClientSlot{};
+  }
+  // Construct the ring payload slots directly off the raw arrays, then
+  // lay down each ring's initial sequence numbers.
+  auto* req_base = reinterpret_cast<RequestSlot*>(
+      static_cast<char*>(base_) + sizeof(Header) +
+      sizeof(ClientSlot) * config_.max_clients);
+  auto* resp_base = reinterpret_cast<ResponseSlot*>(
+      reinterpret_cast<char*>(req_base) +
+      sizeof(RequestSlot) * std::size_t{config_.max_clients} *
+          config_.ring_depth);
+  const std::size_t total = std::size_t{config_.max_clients} * config_.ring_depth;
+  for (std::size_t j = 0; j < total; ++j) new (req_base + j) RequestSlot{};
+  for (std::size_t j = 0; j < total; ++j) new (resp_base + j) ResponseSlot{};
+  for (std::uint32_t i = 0; i < config_.max_clients; ++i) {
+    v.request_ring(i).initialize();
+    v.response_ring(i).initialize();
+  }
+  header->magic = kSegmentMagic;
+}
+
+Segment::~Segment() {
+#if LA_SVC_HAVE_MMAP
+  if (base_ != nullptr) ::munmap(base_, bytes_);
+#else
+  ::operator delete(base_, std::align_val_t{sync::kCacheLineSize});
+#endif
+}
+
+}  // namespace la::svc

@@ -1,0 +1,563 @@
+// The rename-service daemon's server side: worker threads drain the
+// per-client request rings of a svc::Segment and apply the opcodes to
+// one shared structure satisfying the api::Renamer contract (the
+// registry fronts a scale::ShardedRenamer — its per-thread cache bins
+// make the worker's Free->Get recycling a single RMW in steady state).
+//
+//   * Rings are statically partitioned: ring r belongs to worker
+//     r % workers (default 1 worker). No cross-worker ring state.
+//   * A GetK that can grant nothing parks *server-side* on the worker's
+//     pending list and is retried after every capacity release — the
+//     client blocks on its response bell instead of spin-retrying
+//     across the segment. (Sound because every harness keeps aggregate
+//     demand within the contention bound; a request that could never be
+//     satisfied would be a caller bug, answered at shutdown with
+//     kShutdown.)
+//   * Held names are accounted per client *process* in dense bitmaps
+//     (pid-keyed): Frees validate against them, which is what turns a
+//     foreign or double free into a protocol error instead of silent
+//     corruption, and what makes crash reclaim exact.
+//   * Crash reclaim: a claimed client slot whose pid no longer exists
+//     (kill(pid, 0) == ESRCH — the harness must waitpid first, zombies
+//     still "exist") is swept: every bitmap-held name is freed back to
+//     the structure, its rings are reset empty, its pending entries
+//     dropped, and the slot returns to the free pool. Sweeps run on the
+//     idle heartbeat (the doorbell park has a timeout) and on demand via
+//     request_sweep().
+//
+// Idle waiting is the eventcount protocol on the segment's global
+// doorbell: register, rescan every owned ring, only then sleep — a
+// request pushed between the scan and the sleep bumps the word and the
+// sleep returns immediately (see sync/futex.hpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/renamer.hpp"
+#include "rng/rng.hpp"
+#include "svc/segment.hpp"
+#include "sync/spin_barrier.hpp"
+#include "sync/spin_lock.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <errno.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+namespace la::svc {
+
+struct ServerStats {
+  std::uint64_t requests = 0;        // ring slots consumed
+  std::uint64_t names_granted = 0;   // names handed out by GetK
+  std::uint64_t names_freed = 0;     // names released by FreeK
+  std::uint64_t pending_parked = 0;  // GetKs that went to the pending list
+  std::uint64_t idle_parks = 0;      // worker doorbell parks
+  std::uint64_t reclaims = 0;        // dead clients swept
+  std::uint64_t reclaimed_names = 0; // names recovered from dead clients
+  std::uint64_t detaches = 0;
+};
+
+inline bool pid_alive(std::uint32_t pid) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (pid == 0) return true;  // not yet published; treat as live
+  return !(::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH);
+#else
+  (void)pid;
+  return true;
+#endif
+}
+
+inline std::uint32_t this_pid() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint32_t>(::getpid());
+#else
+  return 1;
+#endif
+}
+
+template <typename Structure>
+class Server {
+  static_assert(api::is_renamer_v<Structure>,
+                "svc::Server fronts the api::Renamer contract");
+
+ public:
+  Server(SegmentView segment, Structure& structure,
+         std::uint32_t workers = 1)
+      : seg_(segment),
+        structure_(structure),
+        workers_(workers == 0 ? 1 : workers) {}
+
+  ~Server() { stop(); }
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Publish the structure's geometry, mark the segment ready, and launch
+  // the workers. Call after fork()ing any client processes — the worker
+  // threads must not exist across a fork.
+  void start() {
+    if (!threads_.empty()) return;
+    Header& h = seg_.header();
+    h.capacity.store(structure_.capacity(), std::memory_order_relaxed);
+    h.total_slots.store(structure_.total_slots(), std::memory_order_relaxed);
+    hold_words_ = (structure_.total_slots() + 63) / 64;
+    h.ready.store(1, std::memory_order_release);
+    threads_.reserve(workers_);
+    for (std::uint32_t w = 0; w < workers_; ++w) {
+      threads_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  // Stop the workers (answering any parked GetKs with kShutdown) and
+  // mark the segment shut down. Idempotent.
+  void stop() {
+    if (threads_.empty()) return;
+    seg_.header().shutdown.store(1, std::memory_order_release);
+    seg_.header().doorbell.signal();
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+  }
+
+  // Ask every worker to run a dead-client sweep now and wait until each
+  // has (the deterministic reclaim hook for same-process harnesses; the
+  // idle heartbeat sweeps on its own every ~50ms otherwise).
+  void request_sweep() {
+    const std::uint64_t target =
+        sweeps_done_.load(std::memory_order_acquire) + workers_;
+    sweep_epoch_.fetch_add(1, std::memory_order_release);
+    seg_.header().doorbell.signal();
+    sync::Backoff backoff;
+    while (sweeps_done_.load(std::memory_order_acquire) < target &&
+           !threads_.empty()) {
+      backoff.pause();
+    }
+  }
+
+  ServerStats stats() const {
+    ServerStats s;
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.names_granted = granted_.load(std::memory_order_relaxed);
+    s.names_freed = freed_.load(std::memory_order_relaxed);
+    s.pending_parked = pending_parked_.load(std::memory_order_relaxed);
+    s.idle_parks = idle_parks_.load(std::memory_order_relaxed);
+    s.reclaims = reclaims_.load(std::memory_order_relaxed);
+    s.reclaimed_names = reclaimed_names_.load(std::memory_order_relaxed);
+    s.detaches = detaches_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  // First worker error, empty if none (a throwing structure poisons the
+  // run; harnesses assert on this).
+  std::string error() const {
+    sync::SpinLockGuard guard(error_lock_);
+    return error_;
+  }
+
+ private:
+  struct Pending {
+    std::uint32_t ring = 0;
+    std::uint32_t pid = 0;
+    std::uint32_t want = 0;
+  };
+
+  // --- per-pid held bitmaps (lock-guarded; few pids, O(1) bit ops) ----
+
+  struct PidHolds {
+    std::uint32_t pid = 0;
+    std::uint64_t count = 0;
+    std::vector<std::uint64_t> words;
+  };
+
+  PidHolds& holds_for(std::uint32_t pid) {
+    for (auto& h : holds_) {
+      if (h.pid == pid) return h;
+    }
+    holds_.push_back(PidHolds{pid, 0, std::vector<std::uint64_t>(
+                                          static_cast<std::size_t>(
+                                              hold_words_))});
+    return holds_.back();
+  }
+
+  void mark_held(std::uint32_t pid, std::uint64_t name) {
+    sync::SpinLockGuard guard(holds_lock_);
+    PidHolds& h = holds_for(pid);
+    h.words[name >> 6] |= (std::uint64_t{1} << (name & 63));
+    ++h.count;
+  }
+
+  bool clear_held(std::uint32_t pid, std::uint64_t name) {
+    sync::SpinLockGuard guard(holds_lock_);
+    PidHolds& h = holds_for(pid);
+    const std::uint64_t bit = std::uint64_t{1} << (name & 63);
+    if ((h.words[name >> 6] & bit) == 0) return false;
+    h.words[name >> 6] &= ~bit;
+    --h.count;
+    return true;
+  }
+
+  bool held_by_other(std::uint32_t pid, std::uint64_t name) {
+    if (name >= structure_.total_slots()) return false;
+    sync::SpinLockGuard guard(holds_lock_);
+    for (const auto& h : holds_) {
+      if (h.pid == pid) continue;
+      if ((h.words[name >> 6] & (std::uint64_t{1} << (name & 63))) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::uint64_t> drain_holds(std::uint32_t pid) {
+    sync::SpinLockGuard guard(holds_lock_);
+    std::vector<std::uint64_t> names;
+    for (auto& h : holds_) {
+      if (h.pid != pid) continue;
+      for (std::size_t w = 0; w < h.words.size(); ++w) {
+        std::uint64_t word = h.words[w];
+        while (word != 0) {
+          const int bit = __builtin_ctzll(word);
+          word &= word - 1;
+          names.push_back((static_cast<std::uint64_t>(w) << 6) |
+                          static_cast<std::uint64_t>(bit));
+        }
+        h.words[w] = 0;
+      }
+      h.count = 0;
+    }
+    return names;
+  }
+
+  // --- response push --------------------------------------------------
+
+  template <typename Fill>
+  bool respond(std::uint32_t r, Fill&& fill) {
+    ClientSlot& cs = seg_.client_slot(r);
+    auto ring = seg_.response_ring(r);
+    const std::uint32_t pos = cs.resp_tail.load(std::memory_order_relaxed);
+    sync::Backoff backoff;
+    ResponseSlot* slot;
+    while ((slot = ring.try_begin_push(pos)) == nullptr) {
+      // Ring full: the client is not consuming. Either it is slow
+      // (yield and retry) or it died mid-exchange (drop the response;
+      // the sweep will reclaim the slot).
+      if (backoff.should_park()) {
+        if (!pid_alive(cs.pid.load(std::memory_order_relaxed))) return false;
+        backoff.reset();
+      }
+      backoff.pause();
+    }
+    fill(*slot);
+    ring.commit_push(*slot, pos);
+    cs.resp_tail.store(pos + 1, std::memory_order_relaxed);
+    cs.resp_bell.signal();
+    return true;
+  }
+
+  // --- opcode handlers (all run on the ring's owning worker) ----------
+
+  template <typename Rng>
+  bool try_grant(std::uint32_t r, std::uint32_t pid, std::uint32_t want,
+                 Rng& rng) {
+    GetResult got[kMaxBatch];
+    const std::size_t granted = api::get_batch(
+        structure_, rng, got, static_cast<std::size_t>(want));
+    if (granted == 0) return false;
+    for (std::size_t i = 0; i < granted; ++i) mark_held(pid, got[i].name);
+    granted_.fetch_add(granted, std::memory_order_relaxed);
+    respond(r, [&](ResponseSlot& out) {
+      out.status = Status::kOk;
+      out.count = static_cast<std::uint32_t>(granted);
+      out.error_index = 0;
+      out.more = 0;
+      for (std::size_t i = 0; i < granted; ++i) {
+        out.names[i] = got[i].name;
+        out.probes[i] = got[i].probes;
+      }
+    });
+    return true;
+  }
+
+  // Frees names[0..count) in order, stopping at the first bad name with
+  // its index and class. Returns how many were actually released.
+  std::uint64_t handle_free(std::uint32_t r, std::uint32_t pid,
+                            const std::uint64_t* names,
+                            std::uint32_t count) {
+    Status status = Status::kOk;
+    std::uint32_t error_index = 0;
+    std::uint64_t released = 0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t name = names[i];
+      if (name >= structure_.total_slots()) {
+        status = Status::kOutOfRange;
+        error_index = i;
+        break;
+      }
+      if (clear_held(pid, name)) {
+        structure_.free(name);
+        ++released;
+        continue;
+      }
+      if (held_by_other(pid, name)) {
+        status = Status::kForeign;
+        error_index = i;
+        break;
+      }
+      // Nobody's bitmap holds it: let the structure classify (its free
+      // is guaranteed to throw — every grant marks a bitmap first).
+      try {
+        structure_.free(name);
+        ++released;  // untracked-but-held: corruption upstream, but freed
+      } catch (const std::out_of_range&) {
+        status = Status::kOutOfRange;
+        error_index = i;
+        break;
+      } catch (const std::logic_error&) {
+        status = Status::kNotHeld;
+        error_index = i;
+        break;
+      }
+    }
+    freed_.fetch_add(released, std::memory_order_relaxed);
+    respond(r, [&](ResponseSlot& out) {
+      out.status = status;
+      out.count = static_cast<std::uint32_t>(released);
+      out.error_index = error_index;
+      out.more = 0;
+    });
+    return released;
+  }
+
+  void handle_collect(std::uint32_t r) {
+    std::vector<std::uint64_t> held;
+    structure_.collect(held);
+    std::size_t sent = 0;
+    do {
+      const std::size_t chunk =
+          held.size() - sent < kMaxBatch ? held.size() - sent : kMaxBatch;
+      const bool last = sent + chunk == held.size();
+      if (!respond(r, [&](ResponseSlot& out) {
+            out.status = Status::kOk;
+            out.count = static_cast<std::uint32_t>(chunk);
+            out.error_index = 0;
+            out.more = last ? 0 : 1;
+            for (std::size_t i = 0; i < chunk; ++i) {
+              out.names[i] = held[sent + i];
+            }
+          })) {
+        return;  // client died mid-stream; sweep reclaims
+      }
+      sent += chunk;
+    } while (sent < held.size());
+  }
+
+  // --- the worker loop ------------------------------------------------
+
+  template <typename Rng>
+  std::size_t drain_ring(std::uint32_t r, Rng& rng,
+                         std::vector<Pending>& pending, bool& released) {
+    ClientSlot& cs = seg_.client_slot(r);
+    auto ring = seg_.request_ring(r);
+    std::size_t processed = 0;
+    for (;;) {
+      const std::uint32_t pos = cs.req_head.load(std::memory_order_relaxed);
+      RequestSlot* req = ring.try_begin_pop(pos);
+      if (req == nullptr) break;
+      // Copy the payload out before recycling the slot back.
+      const std::uint32_t pid = req->pid;
+      const Op op = req->op;
+      std::uint32_t count = req->count;
+      if (count > kMaxBatch) count = kMaxBatch;
+      std::uint64_t names[kMaxBatch];
+      if (op == Op::kFreeK) {
+        std::memcpy(names, req->names, sizeof(std::uint64_t) * count);
+      }
+      ring.commit_pop(*req, pos);
+      cs.req_head.store(pos + 1, std::memory_order_relaxed);
+      ++processed;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      switch (op) {
+        case Op::kGetK:
+          if (!try_grant(r, pid, count, rng)) {
+            pending.push_back(Pending{r, pid, count});
+            pending_parked_.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        case Op::kFreeK:
+          if (handle_free(r, pid, names, count) != 0) released = true;
+          break;
+        case Op::kCollect:
+          // collect() drains the per-thread caches, which can release
+          // gate capacity the pending list is waiting on.
+          handle_collect(r);
+          released = true;
+          break;
+        case Op::kDetach:
+          detaches_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case Op::kNop:
+          break;
+      }
+    }
+    return processed;
+  }
+
+  template <typename Rng>
+  void retry_pending(std::vector<Pending>& pending, Rng& rng) {
+    for (std::size_t i = 0; i < pending.size();) {
+      if (try_grant(pending[i].ring, pending[i].pid, pending[i].want, rng)) {
+        pending[i] = pending.back();
+        pending.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Sweep the dead clients among this worker's rings.
+  template <typename Rng>
+  void sweep_own(std::uint32_t wid, std::vector<Pending>& pending,
+                 bool& released, Rng&) {
+    const std::uint32_t self = this_pid();
+    for (std::uint32_t r = wid; r < seg_.config().max_clients;
+         r += workers_) {
+      ClientSlot& cs = seg_.client_slot(r);
+      if (cs.state.load(std::memory_order_acquire) != ClientSlot::kClaimed) {
+        continue;
+      }
+      const std::uint32_t pid = cs.pid.load(std::memory_order_acquire);
+      if (pid == 0 || pid == self || pid_alive(pid)) continue;
+      // Dead mid-hold: recover every name its bitmap still holds, then
+      // reset the rings (the producer is provably gone, so half-written
+      // requests are discarded wholesale) and free the slot.
+      const auto names = drain_holds(pid);
+      for (const auto name : names) structure_.free(name);
+      if (!names.empty()) released = true;
+      for (std::size_t i = 0; i < pending.size();) {
+        if (pending[i].ring == r) {
+          pending[i] = pending.back();
+          pending.pop_back();
+        } else {
+          ++i;
+        }
+      }
+      const std::uint32_t req_head =
+          cs.req_head.load(std::memory_order_relaxed);
+      seg_.request_ring(r).reset_empty_at(req_head);
+      cs.req_tail.store(req_head, std::memory_order_relaxed);
+      const std::uint32_t resp_tail =
+          cs.resp_tail.load(std::memory_order_relaxed);
+      seg_.response_ring(r).reset_empty_at(resp_tail);
+      cs.resp_head.store(resp_tail, std::memory_order_relaxed);
+      cs.pid.store(0, std::memory_order_relaxed);
+      cs.state.store(ClientSlot::kFree, std::memory_order_release);
+      reclaims_.fetch_add(1, std::memory_order_relaxed);
+      reclaimed_names_.fetch_add(names.size(), std::memory_order_relaxed);
+    }
+  }
+
+  void worker_loop(std::uint32_t wid) {
+    rng::MarsagliaXorshift rng(rng::mix_seed(0x53564300ull, wid + 1));
+    std::vector<Pending> pending;
+    std::uint64_t seen_sweep_epoch = 0;
+    Header& h = seg_.header();
+    try {
+      for (;;) {
+        bool released = false;
+        std::size_t processed = 0;
+        for (std::uint32_t r = wid; r < seg_.config().max_clients;
+             r += workers_) {
+          processed += drain_ring(r, rng, pending, released);
+        }
+        const std::uint64_t epoch =
+            sweep_epoch_.load(std::memory_order_acquire);
+        if (epoch != seen_sweep_epoch) {
+          seen_sweep_epoch = epoch;
+          sweep_own(wid, pending, released, rng);
+          sweeps_done_.fetch_add(1, std::memory_order_release);
+        }
+        if (released) {
+          retry_pending(pending, rng);
+          // Capacity we released may satisfy another worker's pending
+          // list; nudge the fleet.
+          if (workers_ > 1) h.doorbell.signal();
+        }
+        if (h.shutdown.load(std::memory_order_acquire)) break;
+        if (processed != 0) continue;
+        // Idle: eventcount on the doorbell. The re-check between
+        // prepare and commit is a full rescan of our rings; the timed
+        // sleep doubles as the liveness-sweep heartbeat.
+        const std::uint32_t seen = h.doorbell.prepare_wait();
+        bool nonempty = false;
+        for (std::uint32_t r = wid; r < seg_.config().max_clients;
+             r += workers_) {
+          ClientSlot& cs = seg_.client_slot(r);
+          if (seg_.request_ring(r).try_begin_pop(
+                  cs.req_head.load(std::memory_order_relaxed)) != nullptr) {
+            nonempty = true;
+            break;
+          }
+        }
+        if (nonempty || h.shutdown.load(std::memory_order_acquire)) {
+          h.doorbell.cancel_wait();
+          continue;
+        }
+        bool swept_released = false;
+        sweep_own(wid, pending, swept_released, rng);
+        if (swept_released) {
+          h.doorbell.cancel_wait();
+          retry_pending(pending, rng);
+          continue;
+        }
+        idle_parks_.fetch_add(1, std::memory_order_relaxed);
+        h.doorbell.commit_wait_for(seen, 50'000'000ull);  // 50ms heartbeat
+      }
+    } catch (const std::exception& e) {
+      {
+        sync::SpinLockGuard guard(error_lock_);
+        if (error_.empty()) error_ = e.what();
+      }
+      h.shutdown.store(1, std::memory_order_release);
+      h.doorbell.signal();
+    }
+    // Anyone still parked server-side gets a definitive no.
+    for (const auto& p : pending) {
+      respond(p.ring, [&](ResponseSlot& out) {
+        out.status = Status::kShutdown;
+        out.count = 0;
+        out.error_index = 0;
+        out.more = 0;
+      });
+    }
+  }
+
+  SegmentView seg_;
+  Structure& structure_;
+  std::uint32_t workers_;
+  std::uint64_t hold_words_ = 0;
+  std::vector<std::thread> threads_;
+
+  sync::SpinLock holds_lock_;
+  std::vector<PidHolds> holds_;
+
+  mutable sync::SpinLock error_lock_;
+  std::string error_;
+
+  std::atomic<std::uint64_t> sweep_epoch_{0};
+  std::atomic<std::uint64_t> sweeps_done_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> granted_{0};
+  std::atomic<std::uint64_t> freed_{0};
+  std::atomic<std::uint64_t> pending_parked_{0};
+  std::atomic<std::uint64_t> idle_parks_{0};
+  std::atomic<std::uint64_t> reclaims_{0};
+  std::atomic<std::uint64_t> reclaimed_names_{0};
+  std::atomic<std::uint64_t> detaches_{0};
+};
+
+}  // namespace la::svc

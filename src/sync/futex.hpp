@@ -1,0 +1,130 @@
+// FutexWord — an eventcount over one futex word, the blocking primitive
+// behind every park in this library (the Backoff final tier, the svc
+// doorbells). The discipline is the classic two-phase wait that makes
+// lost wakeups impossible by construction:
+//
+//   waiter:  seen = prepare_wait();        // register, snapshot the word
+//            if (condition_now_true()) { cancel_wait(); proceed; }
+//            commit_wait(seen);            // sleep iff word still == seen
+//
+//   waker:   make_condition_true();        // e.g. the Free's release
+//            signal();                     // bump + wake if anyone waits
+//
+// prepare_wait's waiter registration is seq_cst-ordered before the
+// waiter's re-check, and signal's fence is seq_cst-ordered after the
+// waker's state change — so either the waiter's re-check sees the new
+// state, or the waker's waiter-count load sees the registration and
+// bumps the word, which makes commit_wait's FUTEX_WAIT return
+// immediately (value != seen). Sleeping through a wake is therefore
+// impossible; spurious returns are allowed and callers must loop.
+//
+// signal() is engineered for the hot path with no waiters: one seq_cst
+// fence plus one load, no RMW, no syscall — a Free in the uncontended
+// steady state pays nothing for the parked-waiter tier existing.
+//
+// The word lives wherever it is placed — including a shared-memory
+// segment mapped by several processes (the svc layer). `shared` selects
+// the futex flavor: process-private ops let the kernel skip the mapping
+// lookup; cross-process words must use the shared flavor. Non-Linux
+// builds degrade commit_wait to a yield (the eventcount protocol makes
+// that merely slower, never incorrect).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+namespace la::sync {
+
+class FutexWord {
+ public:
+  FutexWord() = default;
+  explicit FutexWord(bool shared) : shared_(shared ? 1 : 0) {}
+  FutexWord(const FutexWord&) = delete;
+  FutexWord& operator=(const FutexWord&) = delete;
+
+  // Register as a waiter and snapshot the word. Every prepare_wait MUST
+  // be paired with exactly one cancel_wait or commit_wait.
+  std::uint32_t prepare_wait() {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    return value_.load(std::memory_order_seq_cst);
+  }
+
+  void cancel_wait() { waiters_.fetch_sub(1, std::memory_order_release); }
+
+  // Sleep until the word moves past `seen` (or spuriously). Callers loop
+  // on their own condition.
+  void commit_wait(std::uint32_t seen) {
+    wait_on_word(seen, nullptr);
+    waiters_.fetch_sub(1, std::memory_order_release);
+  }
+
+  // Timed variant: sleep at most `nanos`. Used where the waker may have
+  // died (a svc server pushing to a possibly-dead client) or where the
+  // sleeper doubles as a periodic sweeper (the server idle loop).
+  void commit_wait_for(std::uint32_t seen, std::uint64_t nanos) {
+#if defined(__linux__)
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(nanos / 1000000000ull);
+    ts.tv_nsec = static_cast<long>(nanos % 1000000000ull);
+    wait_on_word(seen, &ts);
+#else
+    (void)seen;
+    (void)nanos;
+    std::this_thread::yield();
+#endif
+    waiters_.fetch_sub(1, std::memory_order_release);
+  }
+
+  // Wake every committed waiter iff any are registered. Safe (and cheap)
+  // to call on every release path.
+  void signal() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+    value_.fetch_add(1, std::memory_order_seq_cst);
+    wake_all();
+  }
+
+  // Racy instrumentation snapshot (the stress reports).
+  std::uint32_t waiters() const {
+    return waiters_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void wait_on_word(std::uint32_t seen, const void* timeout) {
+#if defined(__linux__)
+    const int op = shared_ != 0 ? FUTEX_WAIT : FUTEX_WAIT_PRIVATE;
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&value_), op, seen,
+            timeout, nullptr, 0);
+#else
+    (void)seen;
+    (void)timeout;
+    std::this_thread::yield();
+#endif
+  }
+
+  void wake_all() {
+#if defined(__linux__)
+    const int op = shared_ != 0 ? FUTEX_WAKE : FUTEX_WAKE_PRIVATE;
+    syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&value_), op,
+            0x7FFFFFFF, nullptr, nullptr, 0);
+#endif
+  }
+
+  // Layout is fork/shared-memory friendly: three lock-free words, no
+  // pointers, placement-constructed once by the segment creator.
+  std::atomic<std::uint32_t> value_{0};
+  std::atomic<std::uint32_t> waiters_{0};
+  std::uint32_t shared_ = 0;
+};
+
+static_assert(sizeof(FutexWord) <= 16, "FutexWord must stay a small POD-ish word");
+
+}  // namespace la::sync

@@ -32,21 +32,34 @@ inline void spin_pause() {
 // Escalating busy-wait: cheap pauses while the wait is likely short, then
 // yield to the scheduler so spinners stop starving the thread they are
 // waiting on. Create one per wait loop; call once per failed check.
+//
+// The third tier is advisory: after kParkAfterYields yields the wait is
+// long enough that burning timeslices is pure waste, and should_park()
+// turns true. Callers that own a wake source (a sync::FutexWord the
+// release path signals) then park on it with the eventcount protocol —
+// prepare_wait, re-check the condition, commit_wait — instead of calling
+// pause() again. Backoff itself stays syscall-free so the two-tier
+// callers are untouched.
 class Backoff {
  public:
   void pause() {
-    if (spins_ < kYieldAfter) {
-      ++spins_;
+    ++spins_;
+    if (spins_ <= kYieldAfter) {
       spin_pause();
     } else {
       std::this_thread::yield();
     }
   }
 
+  // True once this wait has outlived the spin and yield tiers; callers
+  // with a FutexWord should park instead of pausing again.
+  bool should_park() const { return spins_ >= kYieldAfter + kParkAfterYields; }
+
   void reset() { spins_ = 0; }
 
  private:
   static constexpr std::uint32_t kYieldAfter = 256;
+  static constexpr std::uint32_t kParkAfterYields = 64;
   std::uint32_t spins_ = 0;
 };
 

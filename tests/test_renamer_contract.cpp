@@ -103,8 +103,9 @@ int main() {
   using namespace la;
 
   const auto& infos = api::registered_structures();
-  // The seven flat structures plus their seven sharded:* variants.
-  CHECK(infos.size() == 14);
+  // The seven flat structures plus their seven sharded:* variants plus
+  // the seven svc:sharded:* daemon-backed variants.
+  CHECK(infos.size() == 21);
 
   for (const auto& info : infos) {
     current = std::string(info.name);
