@@ -42,6 +42,11 @@ void print_usage() {
       "                      amortization sweep behind BENCH_batch.json)\n"
       "  --shards=8          shard count S for the sharded variants\n"
       "  --cache=16          per-thread free-name cache capacity (0 = off)\n"
+      "  --deadline=0        per-exchange Get budget (10ms, 250us, 1s;\n"
+      "                      bare number = ns; 0 = wait forever). Expired\n"
+      "                      exchanges are abandoned and reported in the\n"
+      "                      timeouts / timeout_rate columns (structures\n"
+      "                      with deadline ops only)\n"
       "  --rng=marsaglia     probe RNG (marsaglia | lehmer | pcg32)\n"
       "  --seed=42           base RNG seed\n"
       "  --json=<path>       also write the machine-readable report\n"
@@ -69,6 +74,7 @@ int main(int argc, char** argv) {
   const auto shards =
       static_cast<std::uint32_t>(opts.get_uint("shards", 8));
   const auto cache = static_cast<std::uint32_t>(opts.get_uint("cache", 16));
+  const auto deadline_ns = opts.get_duration_ns("deadline", 0);
   const auto rng_kind =
       rng::parse_rng_kind(opts.get_string("rng", "marsaglia"));
   const auto seed = opts.get_uint("seed", 42);
@@ -87,8 +93,8 @@ int main(int argc, char** argv) {
   std::map<std::uint64_t, double> baseline;
 
   bench::BenchReport report("scaling_sweep");
-  stats::Table table(
-      {"algo", "batch", "threads", "N", "ops", "ops_per_sec", "vs_first"});
+  stats::Table table({"algo", "batch", "threads", "N", "ops", "ops_per_sec",
+                      "timeouts", "vs_first"});
   for (const auto& algo : algos) {
     for (const auto batch : batches) {
       for (const auto n : threads) {
@@ -101,6 +107,7 @@ int main(int argc, char** argv) {
         point.driver.seed = seed;
         point.driver.rng_kind = rng_kind;
         point.driver.batch = batch;
+        point.driver.deadline_ns = deadline_ns;
         point.size_factor = size_factor;
         point.shards = shards;
         point.name_cache_capacity = cache;
@@ -119,14 +126,25 @@ int main(int argc, char** argv) {
             baseline[n] > 0.0
                 ? result.throughput_ops_per_sec / baseline[n]
                 : 0.0;
+        // Timeout rate: expired exchanges per completed op — the
+        // latency-SLO number a deadline run exists to measure.
+        const double timeout_rate =
+            result.total_ops != 0
+                ? static_cast<double>(result.timeouts) /
+                      static_cast<double>(result.total_ops)
+                : 0.0;
         table.add_row({std::string(bench::algo_name(algo)), batch, n,
                        point.driver.emulated_registrants(), result.total_ops,
-                       result.throughput_ops_per_sec, vs_first});
+                       result.throughput_ops_per_sec, result.timeouts,
+                       vs_first});
         report.add_run()
             .set("structure", algo)
             .set("rng", rng::rng_kind_name(rng_kind))
             .set("threads", n)
             .set("batch", batch)
+            .set("deadline_ns", deadline_ns)
+            .set("timeouts", result.timeouts)
+            .set("timeout_rate", timeout_rate)
             .set_object("config",
                         bench::JsonObject()
                             .set("mult", mult)

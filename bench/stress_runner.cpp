@@ -33,6 +33,10 @@ void print_usage() {
       "  --seconds=0         timed-mode window per cell\n"
       "  --capacity=0        contention bound n (0 = max(256, 32*threads))\n"
       "  --heal-ops=0        healing-window churn ops (0 = 4*capacity)\n"
+      "  --deadline=0        per-Get deadline (ns/us/ms/s suffix; 0 = block\n"
+      "                      forever). Structures with the deadline surface\n"
+      "                      bound each Get; oversub then over-drives demand\n"
+      "                      so a nonzero timeout rate is expected\n"
       "  --rng=marsaglia     probe RNG (marsaglia | lehmer | pcg32)\n"
       "  --seed=42           base RNG seed\n"
       "  --json=<path>       also write the machine-readable report\n"
@@ -72,6 +76,7 @@ int main(int argc, char** argv) {
   }
   base.capacity = opts.get_uint("capacity", 0);
   base.heal_ops = opts.get_uint("heal-ops", 0);
+  base.deadline_ns = opts.get_duration_ns("deadline", 0);
   base.rng_kind = rng::parse_rng_kind(opts.get_string("rng", "marsaglia"));
   base.seed = opts.get_uint("seed", 42);
   const std::string json_path = opts.get_string("json", "");
@@ -87,7 +92,7 @@ int main(int argc, char** argv) {
   bench::BenchReport report_json("stress_runner");
   stats::Table table({"structure", "scenario", "events", "gets", "peak_held",
                       "avg_trials", "worst", "backup_gets", "waits", "parks",
-                      "deep_fill", "verdict"});
+                      "timeouts", "to_rate", "deep_fill", "verdict"});
   int failures = 0;
   int skipped = 0;
   int executed = 0;
@@ -110,6 +115,11 @@ int main(int argc, char** argv) {
       }
       ++executed;
       if (!report.ok()) ++failures;
+      const double timeout_rate =
+          report.timed_gets != 0
+              ? static_cast<double>(report.timeouts) /
+                    static_cast<double>(report.timed_gets)
+              : 0.0;
       table.add_row(
           {std::string(bench::algo_name(structure)),
            std::string(stress::scenario_name(scenario)),
@@ -117,6 +127,7 @@ int main(int argc, char** argv) {
            report.invariants.peak_concurrent, report.trials.average(),
            report.trials.worst_case(), report.backup_gets,
            report.wait_rounds, report.parks,
+           report.timeouts, timeout_rate,
            report.balance_checked ? report.heal_max_deep_fill : 0.0,
            std::string(report.ok()           ? "OK"
                        : report.invariants.ok() ? "UNBALANCED"
@@ -146,6 +157,13 @@ int main(int argc, char** argv) {
           // rounds and futex parks taken once both tiers were spent.
           .set("wait_rounds", report.wait_rounds)
           .set("parks", report.parks)
+          // Deadline accounting: timed Gets attempted and the subset
+          // refused kTimedOut. All zero when --deadline=0 or the
+          // structure lacks the deadline surface.
+          .set("deadline_ns", base.deadline_ns)
+          .set("timed_gets", report.timed_gets)
+          .set("timeouts", report.timeouts)
+          .set("timeout_rate", timeout_rate)
           // Not-measured must stay distinguishable from a measured 0.0;
           // the double setter renders NaN as JSON null.
           .set("deep_fill",

@@ -68,6 +68,7 @@ run_svc() {
   echo "== svc: multi-process daemon smoke (1 server + 4 forked clients) =="
   ./build/svc_churn --clients=4 --ops=100000 --batch=16 --kill-one
   ./build/test_svc_reclaim
+  ./build/test_svc_failures
 }
 
 run_asan() {
@@ -88,18 +89,25 @@ run_tsan() {
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "${JOBS}" \
     --target test_stress_matrix test_renamer_contract test_collect_race \
-             test_model_fuzz test_svc_ring test_backoff_park stress_runner
+             test_model_fuzz test_svc_ring test_backoff_park \
+             test_wait_queue test_deadlines stress_runner
   # The svc ring + eventcount under TSan: the SPSC handshake and the
   # park/wake protocol are where a lost fence shows up. (The fork-based
   # svc suites stay out of TSan — it does not support multi-process.)
   ./build-tsan/test_svc_ring
   ./build-tsan/test_backoff_park
+  # The FIFO wait queue and the deadline paths: ticket grants, timed
+  # parks, and the park/wake handoff under real races.
+  ./build-tsan/test_wait_queue
+  ./build-tsan/test_deadlines
   ./build-tsan/test_renamer_contract
   ./build-tsan/test_collect_race
   ./build-tsan/test_model_fuzz --structure=sharded:level --seed=20260727
   ./build-tsan/test_stress_matrix
   ./build-tsan/stress_runner --structure=all --scenario=all --threads=8 \
     --ops=2000
+  ./build-tsan/stress_runner --structure=sharded:level --scenario=oversub \
+    --threads=8 --ops=2000 --deadline=10ms
 }
 
 case "${TIER}" in

@@ -54,6 +54,22 @@ def validate(path: str) -> dict:
         batch = run_batch(run)
         assert isinstance(batch, int) and batch >= 1, (
             f"{path}: batch {batch!r}: {run}")
+        # Bounded-wait accounting (optional; emitted by --deadline runs):
+        # timeouts is a count, timeout_rate a fraction, and a run that
+        # reports timeouts without a deadline in force is malformed.
+        if "timeouts" in run:
+            timeouts = run["timeouts"]
+            assert isinstance(timeouts, int) and timeouts >= 0, (
+                f"{path}: timeouts {timeouts!r}: {run}")
+            if timeouts > 0:
+                assert run.get("deadline_ns", 0) > 0, (
+                    f"{path}: {timeouts} timeout(s) without a deadline: "
+                    f"{run}")
+        if "timeout_rate" in run:
+            rate = run["timeout_rate"]
+            assert (isinstance(rate, (int, float))
+                    and 0.0 <= rate <= 1.0), (
+                f"{path}: timeout_rate {rate!r}: {run}")
     print(f"{path}: ok ({len(doc['runs'])} run(s), ops/s nonzero)")
     return doc
 

@@ -182,6 +182,95 @@ void free_batch(Structure& structure, const std::uint64_t* names,
   }
 }
 
+// --- bounded-wait (deadline) operations ---------------------------------
+//
+// Deadlines are *absolute* CLOCK_MONOTONIC instants in nanoseconds, per
+// sync::FutexWord::monotonic_now_ns() — comparable across threads and
+// (on one host) across processes, which is what lets a svc client stamp
+// a deadline into a request slot that the server enforces. kNoDeadline
+// means wait forever (get_for degenerates to get).
+
+inline constexpr std::uint64_t kNoDeadline = ~std::uint64_t{0};
+
+// Native bounded-wait surface: bool get_for(Rng&, GetResult&, deadline).
+// true = granted (result written); false = the deadline passed while the
+// structure was at capacity — a *timed-out refusal*, distinct from the
+// gate-bounded batch refusal (which says "retry now"), and counted in
+// WaitStats::timeouts by structures that track waiting.
+template <typename T, typename = void>
+struct has_native_get_for : std::false_type {};
+
+template <typename T>
+struct has_native_get_for<
+    T, std::void_t<decltype(std::declval<T&>().get_for(
+           std::declval<rng::MarsagliaXorshift&>(),
+           std::declval<GetResult&>(), std::uint64_t{}))>>
+    : std::is_same<decltype(std::declval<T&>().get_for(
+                       std::declval<rng::MarsagliaXorshift&>(),
+                       std::declval<GetResult&>(), std::uint64_t{})),
+                   bool> {};
+
+template <typename T>
+inline constexpr bool has_native_get_for_v = has_native_get_for<T>::value;
+
+// Native bounded-wait batch surface:
+// size_t get_batch_for(Rng&, GetResult*, k, deadline) — claims up to k,
+// returns how many were granted before the deadline (possibly 0).
+template <typename T, typename = void>
+struct has_native_get_batch_for : std::false_type {};
+
+template <typename T>
+struct has_native_get_batch_for<
+    T, std::void_t<decltype(std::declval<T&>().get_batch_for(
+           std::declval<rng::MarsagliaXorshift&>(),
+           std::declval<GetResult*>(), std::size_t{}, std::uint64_t{}))>>
+    : std::is_same<decltype(std::declval<T&>().get_batch_for(
+                       std::declval<rng::MarsagliaXorshift&>(),
+                       std::declval<GetResult*>(), std::size_t{},
+                       std::uint64_t{})),
+                   std::size_t> {};
+
+template <typename T>
+inline constexpr bool has_native_get_batch_for_v =
+    has_native_get_batch_for<T>::value;
+
+// True when the structure can refuse by deadline natively. For
+// structures without it the free functions below fall back to the
+// untimed ops — correct only where those cannot block (the flat arrays'
+// Get is total below capacity); harnesses that *oversubscribe* demand to
+// force timeouts must gate that on has_deadline_ops_v, because a flat
+// array's Get spins forever once aggregate demand exceeds capacity.
+template <typename T>
+inline constexpr bool has_deadline_ops_v =
+    has_native_get_for_v<T> && has_native_get_batch_for_v<T>;
+
+// Claim one name, waiting at most until deadline_ns. Returns false only
+// on a timed-out refusal (native path); the fallback is the untimed get.
+template <typename Structure, typename Rng>
+bool get_for(Structure& structure, Rng& rng, GetResult& out,
+             std::uint64_t deadline_ns) {
+  if constexpr (has_native_get_for_v<Structure>) {
+    return structure.get_for(rng, out, deadline_ns);
+  } else {
+    out = structure.get(rng);
+    return true;
+  }
+}
+
+// Claim up to k names, waiting at most until deadline_ns. Returns how
+// many were granted (0 on a pure timeout); the fallback is the untimed
+// batch path.
+template <typename Structure, typename Rng>
+std::size_t get_batch_for(Structure& structure, Rng& rng, GetResult* out,
+                          std::size_t k, std::uint64_t deadline_ns) {
+  if constexpr (has_native_get_batch_for_v<Structure>) {
+    return structure.get_batch_for(rng, out, k, deadline_ns);
+  } else {
+    (void)deadline_ns;
+    return get_batch(structure, rng, out, k);
+  }
+}
+
 // Optional introspection surface: per-batch occupancy counts, used by the
 // sim harness for the paper's Definition 2 balance metrics.
 template <typename T, typename = void>
@@ -229,12 +318,15 @@ inline constexpr bool has_geometry_v = has_geometry<T>::value;
 // --- waiting surfaces ---------------------------------------------------
 
 // Cumulative waiting totals for structures with a blocking tier: how
-// many retry rounds outlived the spin/yield tiers (wait_rounds) and how
-// many ended in a futex park (parks). Harness reports surface both so
-// the parked-vs-spinning tradeoff is visible, not inferred.
+// many retry rounds outlived the spin/yield tiers (wait_rounds), how
+// many ended in a futex park (parks), and how many deadline-bounded
+// acquisitions (get_for / get_batch_for) expired into a timed-out
+// refusal (timeouts). Harness reports surface all three so the
+// parked-vs-spinning-vs-refused tradeoff is visible, not inferred.
 struct WaitStats {
   std::uint64_t wait_rounds = 0;
   std::uint64_t parks = 0;
+  std::uint64_t timeouts = 0;
 };
 
 // Optional: T::wait_stats() -> WaitStats (racy monotonic snapshot).

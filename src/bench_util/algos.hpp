@@ -22,6 +22,7 @@
 #include "stats/summary.hpp"
 #include "stats/welford.hpp"
 #include "sync/cache.hpp"
+#include "sync/futex.hpp"
 #include "sync/spin_barrier.hpp"
 #include "sync/thread_utils.hpp"
 
@@ -45,6 +46,12 @@ struct DriverConfig {
   // them, the single-op fallback elsewhere). ops still counts
   // individual Gets and Frees.
   std::uint64_t batch = 1;
+  // Per-exchange Get budget in nanoseconds (0 = wait forever). Routed
+  // through api::get_for / api::get_batch_for on structures with
+  // deadline ops (api::has_deadline_ops_v); an expired exchange is
+  // abandoned and counted in RunResult::timeouts. Structures without
+  // the native surface ignore it (their untimed fallback cannot refuse).
+  std::uint64_t deadline_ns = 0;
 
   std::uint64_t emulated_registrants() const {
     return static_cast<std::uint64_t>(threads) * emulation_multiplier;
@@ -73,6 +80,11 @@ struct RunResult {
   // outlived both tiers.
   std::uint64_t gate_wait_rounds = 0;
   std::uint64_t gate_parks = 0;
+  // Caller-observed timed-out refusals (deadline_ns exchanges that
+  // expired). Deliberately NOT folded with the structure's own
+  // WaitStats::timeouts — those count the same expiry events from the
+  // other side of the api::get_for call.
+  std::uint64_t timeouts = 0;
 };
 
 // Canonical registry key for a structure name or alias; throws
@@ -102,6 +114,7 @@ struct ThreadOutput {
   std::uint64_t backup_gets = 0;
   std::uint64_t wait_rounds = 0;  // batched-retry refusal rounds
   std::uint64_t parks = 0;        // futex parks on the free signal
+  std::uint64_t timeouts = 0;     // deadline_ns exchanges that expired
   // The thread's stash of held names lives here so its header shares the
   // padded cache line with the thread's own counters, not a neighbor's.
   std::vector<std::uint64_t> held;
@@ -169,7 +182,27 @@ RunResult drive(Array& array, const DriverConfig& d) {
             held.pop_back();
             ++out.ops;
           }
-          const GetResult r = array.get(rng);
+          GetResult r;
+          bool granted = true;
+          if constexpr (api::has_deadline_ops_v<Array>) {
+            if (d.deadline_ns != 0) {
+              granted = api::get_for(
+                  array, rng, r,
+                  sync::FutexWord::monotonic_now_ns() + d.deadline_ns);
+            } else {
+              r = array.get(rng);
+            }
+          } else {
+            r = array.get(rng);
+          }
+          if (!granted) {
+            // Timed-out refusal: the attempt still spends loop budget
+            // (otherwise an ops-mode run on a saturated structure would
+            // never terminate).
+            ++out.timeouts;
+            ++out.ops;
+            continue;
+          }
           out.trials.record(r.probes);
           if (r.used_backup) ++out.backup_gets;
           held.push_back(r.name);
@@ -208,8 +241,35 @@ RunResult drive(Array& array, const DriverConfig& d) {
           // protocol (register, one re-check grab, then sleep) so a
           // refusal storm costs a futex wait instead of timeslices.
           std::size_t want = batch;
+          bool timed_attempt = false;
+          if constexpr (api::has_deadline_ops_v<Array>) {
+            if (d.deadline_ns != 0) {
+              // One whole-exchange deadline: retry partial grants until
+              // the batch fills or the deadline expires, then abandon
+              // the remainder as a timed-out refusal.
+              timed_attempt = true;
+              const std::uint64_t until =
+                  sync::FutexWord::monotonic_now_ns() + d.deadline_ns;
+              while (want != 0) {
+                const std::size_t granted =
+                    api::get_batch_for(array, rng, got.data(), want, until);
+                if (granted == 0) {
+                  ++out.timeouts;
+                  ++out.ops;  // the refused remainder spends loop budget
+                  break;
+                }
+                for (std::size_t j = 0; j < granted; ++j) {
+                  out.trials.record(got[j].probes);
+                  if (got[j].used_backup) ++out.backup_gets;
+                  held.push_back(got[j].name);
+                }
+                out.ops += granted;
+                want -= granted;
+              }
+            }
+          }
           sync::Backoff backoff;
-          while (want != 0) {
+          while (!timed_attempt && want != 0) {
             std::size_t granted =
                 api::get_batch(array, rng, got.data(), want);
             if constexpr (api::has_free_signal_v<Array>) {
@@ -261,6 +321,7 @@ RunResult drive(Array& array, const DriverConfig& d) {
     result.backup_gets += out.backup_gets;
     result.gate_wait_rounds += out.wait_rounds;
     result.gate_parks += out.parks;
+    result.timeouts += out.timeouts;
     per_thread_worst.add(static_cast<double>(out.trials.worst_case()));
     // Slowest thread's barrier-to-loop-end time: excludes spawn, join,
     // and the untimed stash drain.

@@ -33,6 +33,31 @@ double parse_double(const std::string& key, const std::string& text) {
   }
 }
 
+std::uint64_t parse_duration_ns(const std::string& key,
+                                const std::string& text) {
+  // Longest suffix first so "ms" is not read as "s" with trailing junk.
+  static constexpr struct {
+    const char* suffix;
+    std::uint64_t scale;
+  } kUnits[] = {
+      {"ns", 1ull}, {"us", 1000ull}, {"ms", 1000000ull}, {"s", 1000000000ull}};
+  for (const auto& unit : kUnits) {
+    const std::string suffix(unit.suffix);
+    if (text.size() > suffix.size() &&
+        text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      const std::uint64_t value =
+          parse_uint(key, text.substr(0, text.size() - suffix.size()));
+      if (unit.scale != 0 &&
+          value > ~std::uint64_t{0} / unit.scale) {
+        throw std::invalid_argument("--" + key + ": duration overflows");
+      }
+      return value * unit.scale;
+    }
+  }
+  return parse_uint(key, text);  // bare number = nanoseconds
+}
+
 std::vector<std::string> split_commas(const std::string& text) {
   std::vector<std::string> parts;
   std::size_t start = 0;
@@ -86,6 +111,12 @@ std::uint64_t Options::get_uint(const std::string& key,
 double Options::get_double(const std::string& key, double def) const {
   const auto* value = lookup(key);
   return value == nullptr ? def : parse_double(key, *value);
+}
+
+std::uint64_t Options::get_duration_ns(const std::string& key,
+                                       std::uint64_t def) const {
+  const auto* value = lookup(key);
+  return value == nullptr ? def : parse_duration_ns(key, *value);
 }
 
 std::string Options::get_string(const std::string& key,

@@ -21,6 +21,10 @@ class Options {
   std::uint64_t get_uint(const std::string& key, std::uint64_t def) const;
   double get_double(const std::string& key, double def) const;
   std::string get_string(const std::string& key, std::string def) const;
+  // Durations with an s/ms/us/ns suffix ("10ms", "250us", "1s"); a bare
+  // number is nanoseconds. Returns nanoseconds.
+  std::uint64_t get_duration_ns(const std::string& key,
+                                std::uint64_t def) const;
 
   // Comma-separated lists: --n=1024,4096,16384
   std::vector<std::uint64_t> get_uint_list(

@@ -77,6 +77,7 @@
 #include "sync/futex.hpp"
 #include "sync/spin_lock.hpp"
 #include "sync/tas_cell.hpp"
+#include "sync/wait_queue.hpp"
 
 namespace la::scale {
 
@@ -197,66 +198,19 @@ class ShardedRenamer {
 
   template <typename Rng>
   GetResult get(Rng& rng) {
-    detail::CacheSlot* cache =
-        config_.cache_capacity != 0 ? cache_slot() : nullptr;
-    if (cache != nullptr) {
-      const std::uint64_t token = pop_parked(*cache);
-      if (token != 0) {
-        return grant(token - 1, /*probes=*/1);
-      }
-    }
-    const std::uint32_t home =
-        cache != nullptr ? cache->home_shard : hashed_home();
-    std::uint32_t refusals = 0;
-    sync::Backoff backoff;
-    for (;;) {
-      for (std::uint32_t i = 0; i < config_.shards; ++i) {
-        const std::uint32_t s = ring(home, i);
-        detail::ShardCounters& count = *counts_[s];
-        if (count.occupancy.fetch_add(1, std::memory_order_relaxed) >=
-            gates_[s]) {
-          count.occupancy.fetch_sub(1, std::memory_order_relaxed);
-          count.refusals.fetch_add(1, std::memory_order_relaxed);
-          ++refusals;
-          continue;
-        }
-        GetResult result;
-        try {
-          result = shards_[s]->get(rng);
-        } catch (...) {
-          count.occupancy.fetch_sub(1, std::memory_order_relaxed);
-          throw;
-        }
-        count.shared_gets.fetch_add(1, std::memory_order_relaxed);
-        const std::uint64_t name =
-            (static_cast<std::uint64_t>(s) << stride_shift_) | result.name;
-        result.probes += refusals;
-        return grant(name, result.probes, result);
-      }
-      // Every shard refused: parked names are the reclaimable capacity.
-      // Drain them back to the shards and retry — with true holds below
-      // the contention bound, some shard must then accept. Back off
-      // between rounds: a refusal storm can also be transient gate
-      // reservations by peers who need the timeslice to finish. Once the
-      // spin/yield tiers are exhausted (genuine oversubscription at the
-      // contention bound), park on the free signal instead of burning
-      // CPU: register as a waiter first, re-probe, and only then sleep —
-      // the eventcount protocol, so a Free between the probe and the
-      // sleep wakes us immediately (zero lost wakeups; see futex.hpp).
-      drain_caches();
-      gate_wait_rounds_.fetch_add(1, std::memory_order_relaxed);
-      if (!backoff.should_park()) {
-        backoff.pause();
-        continue;
-      }
-      const std::uint32_t seen = free_signal_.prepare_wait();
-      if (probe_capacity()) {
-        free_signal_.cancel_wait();
-        continue;
-      }
-      gate_parks_.fetch_add(1, std::memory_order_relaxed);
-      free_signal_.commit_wait(seen);
-    }
+    GetResult out;
+    // With no deadline get_for_impl cannot refuse, only block.
+    (void)get_for_impl(rng, out, api::kNoDeadline);
+    return out;
+  }
+
+  // Bounded-wait Get: park at most until the absolute CLOCK_MONOTONIC
+  // deadline (api::kNoDeadline = forever), then refuse with false — the
+  // timed-out refusal the api::get_for contract defines. Counted in
+  // wait_stats().timeouts.
+  template <typename Rng>
+  bool get_for(Rng& rng, GetResult& out, std::uint64_t deadline_ns) {
+    return get_for_impl(rng, out, deadline_ns);
   }
 
   // Batch claim: pop parked names in one walk down the cache stack, then
@@ -336,6 +290,47 @@ class ShardedRenamer {
     }
   }
 
+  // Bounded-wait batch claim: retries get_batch through the same
+  // spin/yield/park ladder as get_for until *something* is granted or
+  // the deadline passes. Returns the granted count — a partial grant
+  // returns immediately (the api batch contract hands the top-up retry
+  // to the caller); 0 means the deadline expired with every shard at
+  // its bound (counted in wait_stats().timeouts).
+  template <typename Rng>
+  std::size_t get_batch_for(Rng& rng, GetResult* out, std::size_t k,
+                            std::uint64_t deadline_ns) {
+    if (k == 0) return 0;
+    sync::Backoff backoff;
+    bool handoff = false;
+    for (;;) {
+      const std::size_t granted = get_batch(rng, out, k);
+      if (granted != 0) return granted;
+      gate_wait_rounds_.fetch_add(1, std::memory_order_relaxed);
+      if (deadline_ns != api::kNoDeadline &&
+          sync::FutexWord::monotonic_now_ns() >= deadline_ns) {
+        gate_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+      if (!backoff.should_park()) {
+        backoff.pause();
+        continue;
+      }
+      sync::WaitQueue::Waiter waiter;
+      wait_queue_.prepare_wait(waiter, handoff);
+      if (probe_capacity()) {
+        wait_queue_.cancel_wait(waiter);
+        continue;
+      }
+      gate_parks_.fetch_add(1, std::memory_order_relaxed);
+      if (wait_queue_.commit_wait(waiter, deadline_ns) ==
+          sync::WaitResult::kTimedOut) {
+        gate_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+      handoff = true;  // granted a wake: keep queue position on re-park
+    }
+  }
+
   void free(std::uint64_t name) {
     if (name >= total_slots_ ||
         (name & (stride_ - 1)) >=
@@ -353,14 +348,14 @@ class ShardedRenamer {
     if (config_.cache_capacity != 0) {
       if (detail::CacheSlot* cache = cache_slot()) {
         park(*cache, name);
-        free_signal_.signal();
+        notify_one_release();
         return;
       }
     }
     release_to_shard(name);
     counts_[static_cast<std::size_t>(name >> stride_shift_)]
         ->direct_frees.fetch_add(1, std::memory_order_relaxed);
-    free_signal_.signal();
+    notify_one_release();
   }
 
   // Batch free: validate and clear every held bit first — catching
@@ -433,7 +428,7 @@ class ShardedRenamer {
   void drain_caches() const {
     drain_bins(bins_.data(), bins_.size());
     drains_.fetch_add(1, std::memory_order_relaxed);
-    free_signal_.signal();
+    notify_bulk_release();
   }
 
   // The eventcount every capacity-releasing path signals; gate-refused
@@ -444,6 +439,7 @@ class ShardedRenamer {
     api::WaitStats stats;
     stats.wait_rounds = gate_wait_rounds_.load(std::memory_order_relaxed);
     stats.parks = gate_parks_.load(std::memory_order_relaxed);
+    stats.timeouts = gate_timeouts_.load(std::memory_order_relaxed);
     return stats;
   }
 
@@ -501,6 +497,106 @@ class ShardedRenamer {
     result.name = name;
     result.probes = probes;
     return result;
+  }
+
+  // The one Get slow path (get and get_for are thin wrappers): cache
+  // pop, then shard sweep, then the spin/yield/park ladder. Returns
+  // false only on a timed-out refusal (impossible with kNoDeadline).
+  template <typename Rng>
+  bool get_for_impl(Rng& rng, GetResult& out, std::uint64_t deadline_ns) {
+    detail::CacheSlot* cache =
+        config_.cache_capacity != 0 ? cache_slot() : nullptr;
+    if (cache != nullptr) {
+      const std::uint64_t token = pop_parked(*cache);
+      if (token != 0) {
+        out = grant(token - 1, /*probes=*/1);
+        return true;
+      }
+    }
+    const std::uint32_t home =
+        cache != nullptr ? cache->home_shard : hashed_home();
+    std::uint32_t refusals = 0;
+    sync::Backoff backoff;
+    bool handoff = false;
+    for (;;) {
+      for (std::uint32_t i = 0; i < config_.shards; ++i) {
+        const std::uint32_t s = ring(home, i);
+        detail::ShardCounters& count = *counts_[s];
+        if (count.occupancy.fetch_add(1, std::memory_order_relaxed) >=
+            gates_[s]) {
+          count.occupancy.fetch_sub(1, std::memory_order_relaxed);
+          count.refusals.fetch_add(1, std::memory_order_relaxed);
+          ++refusals;
+          continue;
+        }
+        GetResult result;
+        try {
+          result = shards_[s]->get(rng);
+        } catch (...) {
+          count.occupancy.fetch_sub(1, std::memory_order_relaxed);
+          throw;
+        }
+        count.shared_gets.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t name =
+            (static_cast<std::uint64_t>(s) << stride_shift_) | result.name;
+        result.probes += refusals;
+        out = grant(name, result.probes, result);
+        return true;
+      }
+      // Every shard refused: parked names are the reclaimable capacity.
+      // Drain them back to the shards and retry — with true holds below
+      // the contention bound, some shard must then accept. Back off
+      // between rounds: a refusal storm can also be transient gate
+      // reservations by peers who need the timeslice to finish. Once the
+      // spin/yield tiers are exhausted (genuine oversubscription at the
+      // contention bound), park on the FIFO wait queue instead of
+      // burning CPU: register as a waiter first, re-probe, and only then
+      // sleep — the eventcount protocol, so a Free between the probe and
+      // the sleep wakes us immediately (zero lost wakeups; see
+      // wait_queue.hpp). Single Frees wake exactly the oldest waiter
+      // (wake-one + handoff: a woken waiter that loses the sweep race
+      // re-enqueues at the *front*), so starvation is bounded by queue
+      // position instead of scheduler luck.
+      drain_caches();
+      gate_wait_rounds_.fetch_add(1, std::memory_order_relaxed);
+      if (deadline_ns != api::kNoDeadline &&
+          sync::FutexWord::monotonic_now_ns() >= deadline_ns) {
+        gate_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (!backoff.should_park()) {
+        backoff.pause();
+        continue;
+      }
+      sync::WaitQueue::Waiter waiter;
+      wait_queue_.prepare_wait(waiter, handoff);
+      if (probe_capacity()) {
+        wait_queue_.cancel_wait(waiter);
+        continue;
+      }
+      gate_parks_.fetch_add(1, std::memory_order_relaxed);
+      if (wait_queue_.commit_wait(waiter, deadline_ns) ==
+          sync::WaitResult::kTimedOut) {
+        gate_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      handoff = true;  // granted a wake: keep queue position on re-park
+    }
+  }
+
+  // Release notification, both flavors. Internal waiters sleep on the
+  // FIFO wait_queue_ (wake-one keeps releases from stampeding the whole
+  // queue at one freed slot); external callers — the drive loop parked
+  // via free_signal() — still sleep on the plain eventcount, so every
+  // release signals both. Both no-waiter fast paths are fence+load.
+  void notify_one_release() const {
+    wait_queue_.wake_one();
+    free_signal_.signal();
+  }
+
+  void notify_bulk_release() const {
+    wait_queue_.wake_all();
+    free_signal_.signal();
   }
 
   // Release `name`'s underlying slot back to its shard. Gate decrement
@@ -609,7 +705,13 @@ class ShardedRenamer {
       counts_[s]->occupancy.fetch_sub(run, std::memory_order_relaxed);
       counts_[s]->direct_frees.fetch_add(run, std::memory_order_relaxed);
     }
-    if (count != 0) free_signal_.signal();
+    // Bulk Free-k releases many slots at once — the one case where
+    // waking the whole queue is the point, not a herd.
+    if (count == 1) {
+      notify_one_release();
+    } else if (count != 0) {
+      notify_bulk_release();
+    }
   }
 
   // Park-path re-check: is there any capacity a retry could claim? Gates
@@ -716,7 +818,7 @@ class ShardedRenamer {
     detail::CacheSlot& cache = *self->caches_[slot];
     self->drain_bins(self->bins_.data() + cache.first,
                      self->config_.cache_capacity);
-    self->free_signal_.signal();  // the flush may have released capacity
+    self->notify_bulk_release();  // the flush may have released capacity
     cache.top = 0;  // published to the next claimer via claim_lock_
     sync::SpinLockGuard guard(self->claim_lock_);
     self->free_slots_.push_back(slot);
@@ -740,11 +842,17 @@ class ShardedRenamer {
   std::size_t claimed_ = 0;
   std::shared_ptr<CacheControl> control_;
   mutable std::atomic<std::uint64_t> drains_{0};
-  // The blocking tier (see get()): every release path signals, refused
-  // getters park. Mutable because collect()'s drain releases capacity.
+  // The blocking tier (see get_for_impl): every release path notifies,
+  // refused getters park. Internal waiters use the ticketed FIFO
+  // wait_queue_ (wake-one + handoff bounds starvation by queue
+  // position); the plain free_signal_ eventcount remains for external
+  // parkers via free_signal(). Mutable because collect()'s drain
+  // releases capacity.
   mutable sync::FutexWord free_signal_;
+  mutable sync::WaitQueue wait_queue_;
   mutable std::atomic<std::uint64_t> gate_wait_rounds_{0};
   mutable std::atomic<std::uint64_t> gate_parks_{0};
+  mutable std::atomic<std::uint64_t> gate_timeouts_{0};
 };
 
 }  // namespace la::scale

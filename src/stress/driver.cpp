@@ -9,10 +9,12 @@
 #include <vector>
 
 #include "api/registry.hpp"
+#include "api/renamer.hpp"
 #include "bench_util/timing.hpp"
 #include "bench_util/workload.hpp"
 #include "sim/metrics.hpp"
 #include "sync/cache.hpp"
+#include "sync/futex.hpp"
 #include "sync/spin_barrier.hpp"
 #include "sync/thread_utils.hpp"
 
@@ -41,6 +43,8 @@ struct ThreadState {
   stats::TrialStats trials;
   std::uint64_t ops = 0;
   std::uint64_t backup_gets = 0;
+  std::uint64_t timed_gets = 0;
+  std::uint64_t timeouts = 0;
   double seconds_active = 0.0;
   std::string error;  // non-empty = the thread died on an exception
   std::vector<std::uint64_t> held;
@@ -125,11 +129,16 @@ class Budget {
 // --- worker loops, one per scenario -------------------------------------
 
 // steady / oversub: back-to-back churn holding ~target names; oversub
-// only differs in how high target sits (just under the contention bound).
+// only differs in how high target sits (just under the contention bound,
+// or above it when a deadline makes refusals survivable). `deadline_ns`
+// is the per-Get budget (0 = untimed); a refused Get acquired nothing,
+// so nothing is logged for it, but it still spends budget — ops mode
+// must terminate even if every remaining Get times out.
 template <typename Array, typename Rng>
 void run_churn_worker(Array& array, Rng& rng, EpochClock& clock,
                       ThreadState& st, std::uint32_t tid,
-                      std::uint64_t target, Budget& budget) {
+                      std::uint64_t target, Budget& budget,
+                      std::uint64_t deadline_ns) {
   while (!budget.exhausted(st)) {
     if (!st.held.empty() &&
         (st.held.size() >= target || rng::bounded(rng, 4) == 0)) {
@@ -138,6 +147,26 @@ void run_churn_worker(Array& array, Rng& rng, EpochClock& clock,
       st.held[victim] = st.held.back();
       st.held.pop_back();
       continue;
+    }
+    if constexpr (api::has_deadline_ops_v<Array>) {
+      if (deadline_ns != 0) {
+        GetResult r;
+        ++st.timed_gets;
+        const bool granted = api::get_for(
+            array, rng, r,
+            sync::FutexWord::monotonic_now_ns() + deadline_ns);
+        if (!granted) {
+          ++st.timeouts;
+          ++st.ops;
+          continue;
+        }
+        st.log.record(clock, tid, Op::kGet, r.name);
+        st.trials.record(r.probes);
+        if (r.used_backup) ++st.backup_gets;
+        ++st.ops;
+        st.held.push_back(r.name);
+        continue;
+      }
     }
     st.held.push_back(logged_get(array, rng, clock, st, tid));
   }
@@ -217,7 +246,8 @@ void run_joinleave_worker(Array& array, Rng& rng, EpochClock& clock,
                           ThreadState& st, std::uint32_t tid,
                           std::uint64_t target, Budget& budget,
                           std::atomic<bool>& stop, const StressConfig& cfg,
-                          const bench::Stopwatch& watch) {
+                          const bench::Stopwatch& watch,
+                          std::uint64_t deadline_ns) {
   sync::Backoff backoff;
   if (cfg.ops_per_thread != 0) {
     const std::uint64_t stagger =
@@ -236,7 +266,7 @@ void run_joinleave_worker(Array& array, Rng& rng, EpochClock& clock,
       backoff.pause();
     }
   }
-  run_churn_worker(array, rng, clock, st, tid, target, budget);
+  run_churn_worker(array, rng, clock, st, tid, target, budget, deadline_ns);
   for (const auto name : st.held) logged_free(array, name, clock, st, tid);
   st.held.clear();
 }
@@ -327,7 +357,19 @@ StressReport drive(Array& array, const StressConfig& cfg) {
         "run_stress: capacity " + std::to_string(n) + " is too small for " +
         std::to_string(threads) + " threads (need >= 4 * threads)");
   }
-  const std::uint64_t target = per_thread_target(cfg);
+  std::uint64_t target = per_thread_target(cfg);
+  // Deadline knob: only honored where the structure can actually bound a
+  // Get (api deadline surface). Under a deadline, oversub flips from
+  // "just under the bound" to *over* it — aggregate demand exceeds n, so
+  // a nonzero timeout rate is the expected (and asserted, by harnesses)
+  // outcome rather than a hang.
+  std::uint64_t deadline_ns = 0;
+  if constexpr (api::has_deadline_ops_v<Array>) {
+    deadline_ns = cfg.deadline_ns;
+    if (deadline_ns != 0 && cfg.scenario == Scenario::kOversub) {
+      target = n / threads + 2;
+    }
+  }
   const std::uint64_t worker_bound = target * threads;
 
   StressReport report;
@@ -358,7 +400,8 @@ StressReport drive(Array& array, const StressConfig& cfg) {
         switch (cfg.scenario) {
           case Scenario::kSteady:
           case Scenario::kOversub:
-            run_churn_worker(array, rng, clock, st, tid, target, budget);
+            run_churn_worker(array, rng, clock, st, tid, target, budget,
+                             deadline_ns);
             break;
           case Scenario::kBurst:
             run_burst_worker(array, rng, clock, st, tid, target, burst_rounds,
@@ -369,7 +412,7 @@ StressReport drive(Array& array, const StressConfig& cfg) {
             break;
           case Scenario::kJoinLeave:
             run_joinleave_worker(array, rng, clock, st, tid, target, budget,
-                                 stop, cfg, watch);
+                                 stop, cfg, watch, deadline_ns);
             break;
         }
         st.seconds_active = watch.elapsed_seconds();
@@ -388,6 +431,8 @@ StressReport drive(Array& array, const StressConfig& cfg) {
     report.trials.merge(st.trials);
     report.total_ops += st.ops;
     report.backup_gets += st.backup_gets;
+    report.timed_gets += st.timed_gets;
+    report.timeouts += st.timeouts;
     if (st.seconds_active > report.elapsed_seconds) {
       report.elapsed_seconds = st.seconds_active;
     }

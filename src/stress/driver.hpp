@@ -39,6 +39,14 @@ struct StressConfig {
   // 0 derives 4 * capacity. Negative scenarios aside, the window always
   // churns at half the contention bound, mirroring fig3_healing.
   std::uint64_t heal_ops = 0;
+  // Per-Get deadline budget in ns for the churn-based scenarios (steady /
+  // oversub / joinleave); 0 = Gets block until they succeed. Only applied
+  // to structures with the api deadline surface — driving an untimed
+  // fallback past capacity would livelock, so for every other structure
+  // the knob is ignored. With a deadline set, oversub raises per-thread
+  // demand *above* the contention bound: refusals become expected and
+  // the run certifies bounded waiting instead of avoiding it.
+  std::uint64_t deadline_ns = 0;
 
   std::uint64_t effective_capacity() const {
     if (capacity != 0) return capacity;
@@ -57,6 +65,12 @@ struct StressReport {
   // yield tiers were exhausted. Zero for structures without the surface.
   std::uint64_t wait_rounds = 0;
   std::uint64_t parks = 0;
+  // Deadline accounting (cfg.deadline_ns != 0 on a structure with the
+  // deadline surface): Gets attempted under a bound, and the subset
+  // refused kTimedOut. A refused Get acquired nothing, so it never
+  // appears in the event log — only here.
+  std::uint64_t timed_gets = 0;
+  std::uint64_t timeouts = 0;
   double elapsed_seconds = 0.0;  // slowest worker, barrier to loop end
   // Healing window (batch-occupancy structures only).
   bool balance_checked = false;

@@ -19,9 +19,17 @@
 //     cannot share a ring.
 //
 // Waiting for a response escalates spin -> yield -> park on the ring's
-// resp_bell (eventcount protocol, see sync/futex.hpp); parks are timed
-// so a server that dies without answering turns into a clean
-// runtime_error instead of a hang.
+// resp_bell (eventcount protocol, see sync/futex.hpp); parks are timed,
+// and each expiry probes the server's liveness (the shutdown flag, then
+// the published server pid) so a server that dies without answering —
+// SIGKILL sets no flag — turns into a distinct "server process died"
+// runtime_error instead of an unbounded re-park loop.
+//
+// Bounded-wait Gets (get_for / get_batch_for) stamp the caller's
+// absolute CLOCK_MONOTONIC deadline into the request; the *server*
+// enforces it (pending-list expiry -> Status::kTimedOut), which the
+// client maps back to the api::get_for timed-out refusal and counts in
+// wait_stats().timeouts.
 #pragma once
 
 #include <atomic>
@@ -90,7 +98,7 @@ class Client {
   template <typename Rng>
   GetResult get(Rng&) {
     GetResult out[1];
-    exchange_get(out, 1);  // server parks zero-grant requests: never 0
+    exchange_get(out, 1, 0);  // server parks zero-grant requests: never 0
     return out[0];
   }
 
@@ -98,7 +106,28 @@ class Client {
   std::size_t get_batch(Rng&, GetResult* out, std::size_t k) {
     if (k == 0) return 0;
     if (k > kMaxBatch) k = kMaxBatch;  // caller retries per the contract
-    return exchange_get(out, static_cast<std::uint32_t>(k));
+    return exchange_get(out, static_cast<std::uint32_t>(k), 0);
+  }
+
+  // Bounded-wait Get: the deadline travels in the request slot and the
+  // server's pending list enforces it. false = Status::kTimedOut came
+  // back (the server could grant nothing before the instant passed).
+  template <typename Rng>
+  bool get_for(Rng&, GetResult& out, std::uint64_t deadline_ns) {
+    GetResult buf[1];
+    if (exchange_get(buf, 1, wire_deadline(deadline_ns)) == 0) return false;
+    out = buf[0];
+    return true;
+  }
+
+  // Bounded-wait batch Get: up to k names, 0 on a timed-out refusal.
+  template <typename Rng>
+  std::size_t get_batch_for(Rng&, GetResult* out, std::size_t k,
+                            std::uint64_t deadline_ns) {
+    if (k == 0) return 0;
+    if (k > kMaxBatch) k = kMaxBatch;
+    return exchange_get(out, static_cast<std::uint32_t>(k),
+                        wire_deadline(deadline_ns));
   }
 
   void free(std::uint64_t name) { free_batch(&name, 1); }
@@ -130,11 +159,17 @@ class Client {
     api::WaitStats w;
     w.wait_rounds = wait_rounds_.load(std::memory_order_relaxed);
     w.parks = parks_.load(std::memory_order_relaxed);
+    w.timeouts = timeouts_.load(std::memory_order_relaxed);
     return w;
   }
 
  private:
   static constexpr std::uint32_t kNoRing = 0xFFFFFFFFu;
+
+  // api::kNoDeadline means "no deadline", which the wire encodes as 0.
+  static std::uint64_t wire_deadline(std::uint64_t deadline_ns) {
+    return deadline_ns == api::kNoDeadline ? 0 : deadline_ns;
+  }
 
   // ---- ring claim / release -----------------------------------------
 
@@ -145,6 +180,9 @@ class Client {
       if (cs.state.compare_exchange_strong(expected, ClientSlot::kClaimed,
                                            std::memory_order_acq_rel,
                                            std::memory_order_relaxed)) {
+        // Generation token before pid: the sweep reads pid first, so a
+        // published pid always has its token in place.
+        cs.claim_token.store(pid_start_time(pid_), std::memory_order_release);
         cs.pid.store(pid_, std::memory_order_release);
         return r;
       }
@@ -171,6 +209,7 @@ class Client {
       }
     }
     cs.pid.store(0, std::memory_order_relaxed);
+    cs.claim_token.store(0, std::memory_order_relaxed);
     cs.state.store(ClientSlot::kFree, std::memory_order_release);
   }
 
@@ -203,7 +242,8 @@ class Client {
   // ---- the exchange primitives --------------------------------------
 
   void push_request(std::uint32_t r, Op op, std::uint32_t count,
-                    const std::uint64_t* names) {
+                    const std::uint64_t* names,
+                    std::uint64_t deadline_ns = 0) {
     ClientSlot& cs = seg_.client_slot(r);
     auto ring = seg_.request_ring(r);
     const std::uint32_t pos = cs.req_tail.load(std::memory_order_relaxed);
@@ -218,6 +258,7 @@ class Client {
     slot->pid = pid_;
     slot->op = op;
     slot->count = count;
+    slot->deadline_ns = deadline_ns;
     if (names != nullptr) {
       std::memcpy(slot->names, names, sizeof(std::uint64_t) * count);
     }
@@ -254,9 +295,26 @@ class Client {
         throw std::runtime_error("svc::Client: server shut down mid-request");
       }
       parks_.fetch_add(1, std::memory_order_relaxed);
-      // Timed so a crashed server turns into the shutdown check above
-      // rather than an eternal sleep.
-      cs.resp_bell.commit_wait_for(seen, 100'000'000ull);  // 100ms
+      // Timed so a dead server is *detected*, not slept through. A
+      // clean stop sets the shutdown flag (caught above); a SIGKILLed
+      // or crashed server sets nothing, so every expired park probes
+      // the published server pid and turns its death into a distinct
+      // error instead of re-parking forever.
+      if (cs.resp_bell.commit_wait_for(seen, 100'000'000ull) ==
+          sync::WaitResult::kTimedOut) {
+        if (ring.try_begin_pop(pos) != nullptr) continue;
+        if (seg_.header().shutdown.load(std::memory_order_acquire) != 0) {
+          continue;  // loop into the shutdown drain/throw above
+        }
+        const std::uint32_t server =
+            seg_.header().server_pid.load(std::memory_order_acquire);
+        if (server != 0 && !pid_alive(server)) {
+          throw std::runtime_error(
+              "svc::Client: server process died mid-request (no response "
+              "and server pid " +
+              std::to_string(server) + " is gone)");
+        }
+      }
     }
   }
 
@@ -267,11 +325,12 @@ class Client {
     cs.resp_head.store(pos + 1, std::memory_order_relaxed);
   }
 
-  std::size_t exchange_get(GetResult* out, std::uint32_t want) {
+  std::size_t exchange_get(GetResult* out, std::uint32_t want,
+                           std::uint64_t deadline_ns) {
     const Port port = acquire_port();
     std::size_t granted = 0;
     try {
-      push_request(port.ring, Op::kGetK, want, nullptr);
+      push_request(port.ring, Op::kGetK, want, nullptr, deadline_ns);
       ResponseSlot* resp = await_response(port.ring);
       const Status status = resp->status;
       granted = resp->count;
@@ -284,6 +343,12 @@ class Client {
       finish_response(port.ring, resp);
       if (status == Status::kShutdown) {
         throw std::runtime_error("svc::Client: get refused, server stopping");
+      }
+      if (status == Status::kTimedOut) {
+        // The timed-out refusal, not an error: get_for/get_batch_for
+        // surface it as false/0 per the api contract.
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        granted = 0;
       }
     } catch (...) {
       release_port(port);
@@ -327,6 +392,9 @@ class Client {
             std::to_string(bad) + ")");
       case Status::kShutdown:
         throw std::runtime_error("svc::Client: free refused, server stopping");
+      case Status::kTimedOut:
+        // Frees carry no deadline; a kTimedOut here is a server bug.
+        throw std::logic_error("svc::Client: unexpected kTimedOut on free");
     }
   }
 
@@ -358,6 +426,7 @@ class Client {
   sync::SpinLock shared_lock_;
   mutable std::atomic<std::uint64_t> wait_rounds_{0};
   mutable std::atomic<std::uint64_t> parks_{0};
+  mutable std::atomic<std::uint64_t> timeouts_{0};
 };
 
 }  // namespace la::svc

@@ -54,6 +54,10 @@ struct alignas(sync::kCacheLineSize) Header {
   std::atomic<std::uint64_t> total_slots{0};
   std::atomic<std::uint32_t> ready{0};
   std::atomic<std::uint32_t> shutdown{0};
+  // The server process, published at start(): clients whose timed
+  // response park expires probe it to distinguish "slow server" from
+  // "server died without setting shutdown" (SIGKILL, crash).
+  std::atomic<std::uint32_t> server_pid{0};
   // The server's eventcount: clients signal after every request push;
   // idle server workers park here (with a timeout, doubling as the
   // liveness-sweep heartbeat).
@@ -69,6 +73,13 @@ struct alignas(sync::kCacheLineSize) ClientSlot {
 
   std::atomic<std::uint32_t> state{kFree};
   std::atomic<std::uint32_t> pid{0};
+  // Claim generation token: the claimant's kernel start time
+  // (svc::pid_start_time), stamped with the pid at claim. The dead-client
+  // sweep treats a mismatch between this and the *current* owner of the
+  // pid as proof of death — a recycled pid fools kill(pid, 0) but gets a
+  // fresh start time. 0 = token unavailable (non-Linux); pid-only
+  // liveness then applies.
+  std::atomic<std::uint64_t> claim_token{0};
   // Persisted ring cursors (see ring.hpp): each is written only by its
   // endpoint; the claim CAS publishes them to the next claimant.
   std::atomic<std::uint32_t> req_tail{0};   // producer: client

@@ -17,11 +17,16 @@
 //     (pid-keyed): Frees validate against them, which is what turns a
 //     foreign or double free into a protocol error instead of silent
 //     corruption, and what makes crash reclaim exact.
-//   * Crash reclaim: a claimed client slot whose pid no longer exists
-//     (kill(pid, 0) == ESRCH — the harness must waitpid first, zombies
-//     still "exist") is swept: every bitmap-held name is freed back to
-//     the structure, its rings are reset empty, its pending entries
-//     dropped, and the slot returns to the free pool. Sweeps run on the
+//   * Crash reclaim: a claimed client slot whose owner is provably gone
+//     is swept: every bitmap-held name is freed back to the structure,
+//     its rings are reset empty, its pending entries dropped, and the
+//     slot returns to the free pool. "Provably gone" is token-based, not
+//     bare-pid-based: clients stamp (pid, kernel start time) at claim
+//     (segment.hpp claim_token), and the sweep reclaims when the pid is
+//     dead (kill(pid, 0) == ESRCH — the harness must waitpid first,
+//     zombies still "exist") OR the pid's current start time no longer
+//     matches the stamped token — a recycled pid keeps kill() happy but
+//     cannot fake the original claimant's start time. Sweeps run on the
 //     idle heartbeat (the doorbell park has a timeout) and on demand via
 //     request_sweep().
 //
@@ -58,29 +63,12 @@ struct ServerStats {
   std::uint64_t names_granted = 0;   // names handed out by GetK
   std::uint64_t names_freed = 0;     // names released by FreeK
   std::uint64_t pending_parked = 0;  // GetKs that went to the pending list
+  std::uint64_t pending_expired = 0; // pending GetKs answered kTimedOut
   std::uint64_t idle_parks = 0;      // worker doorbell parks
   std::uint64_t reclaims = 0;        // dead clients swept
   std::uint64_t reclaimed_names = 0; // names recovered from dead clients
   std::uint64_t detaches = 0;
 };
-
-inline bool pid_alive(std::uint32_t pid) {
-#if defined(__unix__) || defined(__APPLE__)
-  if (pid == 0) return true;  // not yet published; treat as live
-  return !(::kill(static_cast<pid_t>(pid), 0) == -1 && errno == ESRCH);
-#else
-  (void)pid;
-  return true;
-#endif
-}
-
-inline std::uint32_t this_pid() {
-#if defined(__unix__) || defined(__APPLE__)
-  return static_cast<std::uint32_t>(::getpid());
-#else
-  return 1;
-#endif
-}
 
 template <typename Structure>
 class Server {
@@ -106,6 +94,7 @@ class Server {
     Header& h = seg_.header();
     h.capacity.store(structure_.capacity(), std::memory_order_relaxed);
     h.total_slots.store(structure_.total_slots(), std::memory_order_relaxed);
+    h.server_pid.store(this_pid(), std::memory_order_relaxed);
     hold_words_ = (structure_.total_slots() + 63) / 64;
     h.ready.store(1, std::memory_order_release);
     threads_.reserve(workers_);
@@ -145,6 +134,7 @@ class Server {
     s.names_granted = granted_.load(std::memory_order_relaxed);
     s.names_freed = freed_.load(std::memory_order_relaxed);
     s.pending_parked = pending_parked_.load(std::memory_order_relaxed);
+    s.pending_expired = pending_expired_.load(std::memory_order_relaxed);
     s.idle_parks = idle_parks_.load(std::memory_order_relaxed);
     s.reclaims = reclaims_.load(std::memory_order_relaxed);
     s.reclaimed_names = reclaimed_names_.load(std::memory_order_relaxed);
@@ -164,6 +154,7 @@ class Server {
     std::uint32_t ring = 0;
     std::uint32_t pid = 0;
     std::uint32_t want = 0;
+    std::uint64_t deadline_ns = 0;  // 0 = park until capacity/shutdown
   };
 
   // --- per-pid held bitmaps (lock-guarded; few pids, O(1) bit ops) ----
@@ -372,6 +363,7 @@ class Server {
       const std::uint32_t pid = req->pid;
       const Op op = req->op;
       std::uint32_t count = req->count;
+      const std::uint64_t deadline_ns = req->deadline_ns;
       if (count > kMaxBatch) count = kMaxBatch;
       std::uint64_t names[kMaxBatch];
       if (op == Op::kFreeK) {
@@ -384,8 +376,15 @@ class Server {
       switch (op) {
         case Op::kGetK:
           if (!try_grant(r, pid, count, rng)) {
-            pending.push_back(Pending{r, pid, count});
-            pending_parked_.fetch_add(1, std::memory_order_relaxed);
+            if (deadline_ns != 0 &&
+                sync::FutexWord::monotonic_now_ns() >= deadline_ns) {
+              // Already expired on arrival (e.g. queued behind a slow
+              // drain): refuse immediately rather than park for nothing.
+              expire(r);
+            } else {
+              pending.push_back(Pending{r, pid, count, deadline_ns});
+              pending_parked_.fetch_add(1, std::memory_order_relaxed);
+            }
           }
           break;
         case Op::kFreeK:
@@ -419,6 +418,50 @@ class Server {
     }
   }
 
+  // The timed-out refusal for one parked GetK.
+  void expire(std::uint32_t r) {
+    pending_expired_.fetch_add(1, std::memory_order_relaxed);
+    respond(r, [&](ResponseSlot& out) {
+      out.status = Status::kTimedOut;
+      out.count = 0;
+      out.error_index = 0;
+      out.more = 0;
+    });
+  }
+
+  // Answer every pending GetK whose deadline has passed with kTimedOut.
+  // Runs after retry_pending so a request whose capacity arrived in the
+  // same iteration is granted, not expired.
+  void expire_pending(std::vector<Pending>& pending) {
+    if (pending.empty()) return;
+    const std::uint64_t now = sync::FutexWord::monotonic_now_ns();
+    for (std::size_t i = 0; i < pending.size();) {
+      if (pending[i].deadline_ns != 0 && now >= pending[i].deadline_ns) {
+        expire(pending[i].ring);
+        pending[i] = pending.back();
+        pending.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Nanoseconds until the earliest pending deadline, clamped to the idle
+  // heartbeat — so an expiry parked server-side is answered on time, not
+  // at the next 50ms tick.
+  std::uint64_t idle_park_ns(const std::vector<Pending>& pending) const {
+    std::uint64_t park = 50'000'000ull;  // the liveness-sweep heartbeat
+    if (pending.empty()) return park;
+    const std::uint64_t now = sync::FutexWord::monotonic_now_ns();
+    for (const auto& p : pending) {
+      if (p.deadline_ns == 0) continue;
+      const std::uint64_t left =
+          p.deadline_ns > now ? p.deadline_ns - now : 1;
+      if (left < park) park = left;
+    }
+    return park;
+  }
+
   // Sweep the dead clients among this worker's rings.
   template <typename Rng>
   void sweep_own(std::uint32_t wid, std::vector<Pending>& pending,
@@ -431,7 +474,17 @@ class Server {
         continue;
       }
       const std::uint32_t pid = cs.pid.load(std::memory_order_acquire);
-      if (pid == 0 || pid == self || pid_alive(pid)) continue;
+      if (pid == 0 || pid == self) continue;
+      // Liveness is (pid, claim token), not bare pid: kill(pid, 0)
+      // cannot tell the claimant from an unrelated process that was
+      // assigned the recycled pid later, but the recycled process's
+      // kernel start time differs from the one the claimant stamped at
+      // claim. Token 0 (stamp unavailable) degrades to pid-only.
+      if (pid_alive(pid)) {
+        const std::uint64_t token =
+            cs.claim_token.load(std::memory_order_acquire);
+        if (token == 0 || token == pid_start_time(pid)) continue;
+      }
       // Dead mid-hold: recover every name its bitmap still holds, then
       // reset the rings (the producer is provably gone, so half-written
       // requests are discarded wholesale) and free the slot.
@@ -455,6 +508,7 @@ class Server {
       seg_.response_ring(r).reset_empty_at(resp_tail);
       cs.resp_head.store(resp_tail, std::memory_order_relaxed);
       cs.pid.store(0, std::memory_order_relaxed);
+      cs.claim_token.store(0, std::memory_order_relaxed);
       cs.state.store(ClientSlot::kFree, std::memory_order_release);
       reclaims_.fetch_add(1, std::memory_order_relaxed);
       reclaimed_names_.fetch_add(names.size(), std::memory_order_relaxed);
@@ -487,6 +541,7 @@ class Server {
           // list; nudge the fleet.
           if (workers_ > 1) h.doorbell.signal();
         }
+        expire_pending(pending);
         if (h.shutdown.load(std::memory_order_acquire)) break;
         if (processed != 0) continue;
         // Idle: eventcount on the doorbell. The re-check between
@@ -515,7 +570,9 @@ class Server {
           continue;
         }
         idle_parks_.fetch_add(1, std::memory_order_relaxed);
-        h.doorbell.commit_wait_for(seen, 50'000'000ull);  // 50ms heartbeat
+        // The 50ms sweep heartbeat, shortened to the nearest pending
+        // deadline so expiries are answered on time.
+        h.doorbell.commit_wait_for(seen, idle_park_ns(pending));
       }
     } catch (const std::exception& e) {
       {
@@ -554,6 +611,7 @@ class Server {
   std::atomic<std::uint64_t> granted_{0};
   std::atomic<std::uint64_t> freed_{0};
   std::atomic<std::uint64_t> pending_parked_{0};
+  std::atomic<std::uint64_t> pending_expired_{0};
   std::atomic<std::uint64_t> idle_parks_{0};
   std::atomic<std::uint64_t> reclaims_{0};
   std::atomic<std::uint64_t> reclaimed_names_{0};

@@ -65,6 +65,17 @@ class ServiceRenamer {
     return client_->get_batch(rng, out, k);
   }
 
+  template <typename Rng>
+  bool get_for(Rng& rng, GetResult& out, std::uint64_t deadline_ns) {
+    return client_->get_for(rng, out, deadline_ns);
+  }
+
+  template <typename Rng>
+  std::size_t get_batch_for(Rng& rng, GetResult* out, std::size_t k,
+                            std::uint64_t deadline_ns) {
+    return client_->get_batch_for(rng, out, k, deadline_ns);
+  }
+
   void free(std::uint64_t name) { client_->free(name); }
 
   void free_batch(const std::uint64_t* names, std::size_t k) {
@@ -86,6 +97,9 @@ class ServiceRenamer {
       const api::WaitStats inner = inner_->wait_stats();
       w.wait_rounds += inner.wait_rounds;
       w.parks += inner.parks;
+      // Not inner.timeouts: the server's GetKs carry no deadline (the
+      // pending list enforces expiry), so inner timeouts can't occur;
+      // the client's count is the caller-facing one either way.
     }
     return w;
   }

@@ -1,0 +1,252 @@
+// Failure modes of the rename-service daemon, with real processes:
+//
+//   * Server death mid-request — a client whose server was SIGKILLed
+//     (shutdown flag never set) must NOT re-park forever: the timed
+//     response park expires, the probe of the published server pid
+//     fails, and the exchange surfaces a distinct "server process died"
+//     runtime_error. Before the probe existed the client wedged
+//     indefinitely here.
+//   * pid-reuse reclaim — the dead-client sweep compares the claim
+//     generation token (the claimant's kernel start time) against the
+//     pid's *current* owner, so a slot whose pid is alive but whose
+//     token no longer matches is provably a recycled pid and is
+//     reclaimed. Forging the token of a live holder simulates exactly
+//     that; before token comparison a recycled pid kept the slot (and
+//     its names) leaked forever. Negative controls: a matching token
+//     and a zero token (stamp unavailable) must both keep the slot.
+//
+// Fork choreography (same rules as test_svc_reclaim): every child is
+// forked before any thread exists in the parent; the holder child blocks
+// in the Client ctor until its segment's server publishes ready.
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/level_array.hpp"
+#include "rng/rng.hpp"
+#include "scale/sharded.hpp"
+#include "svc/client.hpp"
+#include "svc/segment.hpp"
+#include "svc/server.hpp"
+#include "sync/spin_barrier.hpp"
+
+namespace {
+
+int failures = 0;
+std::string current;
+
+#define CHECK(cond)                                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FAIL [%s] %s:%d: %s\n", current.c_str(),      \
+                   __FILE__, __LINE__, #cond);                            \
+      ++failures;                                                         \
+    }                                                                     \
+  } while (0)
+
+constexpr std::uint64_t kCapacity = 64;
+constexpr std::uint64_t kHolderHolds = 6;
+
+// The death-test server child: serve segment A until SIGKILLed.
+[[noreturn]] void server_child(la::svc::SegmentView seg) {
+  la::core::LevelArrayConfig cfg;
+  cfg.capacity = kCapacity;
+  la::core::LevelArray structure(cfg);
+  la::svc::Server<la::core::LevelArray> server(seg, structure);
+  server.start();
+  for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+// The token-test holder child: claim a ring on segment B, hold names,
+// announce via scratch[0], and park until SIGKILLed. It stays *alive*
+// through the sweeps — only the forged token may condemn it.
+[[noreturn]] void holder_child(la::svc::SegmentView seg) {
+  la::svc::Client client(seg);
+  la::rng::MarsagliaXorshift rng(17);
+  std::vector<la::GetResult> got(kHolderHolds);
+  std::size_t have = 0;
+  la::sync::Backoff backoff;
+  while (have < kHolderHolds) {
+    have += client.get_batch(rng, got.data() + have, kHolderHolds - have);
+    if (have < kHolderHolds) backoff.pause();
+  }
+  seg.header().scratch[0].store(have, std::memory_order_release);
+  for (;;) std::this_thread::yield();
+}
+
+void test_server_death(la::svc::SegmentView seg, pid_t server_pid) {
+  current = "server_death";
+  la::svc::Client client(seg);  // blocks until the child publishes ready
+  la::rng::MarsagliaXorshift rng(5);
+
+  // Round trip while the server lives: the wire works.
+  la::GetResult r = client.get(rng);
+  CHECK(r.name < client.total_slots());
+  client.free(r.name);
+
+  // SIGKILL sets no shutdown flag; reap so the pid probe sees ESRCH
+  // (a zombie still "exists" to kill(pid, 0)).
+  CHECK(::kill(server_pid, SIGKILL) == 0);
+  int status = 0;
+  CHECK(::waitpid(server_pid, &status, 0) == server_pid);
+  CHECK(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  bool threw = false;
+  try {
+    (void)client.get(rng);
+  } catch (const std::runtime_error& e) {
+    threw = true;
+    CHECK(std::string(e.what()).find("server process died") !=
+          std::string::npos);
+  }
+  CHECK(threw);
+}
+
+void test_forged_token(la::svc::SegmentView seg, pid_t holder_pid) {
+  current = "forged_token";
+
+  la::scale::ShardedConfig sharded;
+  sharded.shards = 4;
+  la::core::LevelArrayConfig level;
+  level.capacity = kCapacity / sharded.shards;
+  la::scale::ShardedRenamer<la::core::LevelArray> structure(
+      sharded, [&level](std::uint32_t) {
+        return std::make_unique<la::core::LevelArray>(level);
+      });
+  la::svc::Server<la::scale::ShardedRenamer<la::core::LevelArray>> server(
+      seg, structure);
+  server.start();
+
+  // Wait until the holder provably holds names.
+  {
+    la::sync::Backoff backoff;
+    while (seg.header().scratch[0].load(std::memory_order_acquire) == 0) {
+      backoff.pause();
+    }
+  }
+  CHECK(seg.header().scratch[0].load(std::memory_order_acquire) ==
+        kHolderHolds);
+
+  // Find the holder's claimed slot.
+  la::svc::ClientSlot* slot = nullptr;
+  for (std::uint32_t i = 0; i < seg.config().max_clients; ++i) {
+    la::svc::ClientSlot& cs = seg.client_slot(i);
+    if (cs.state.load(std::memory_order_acquire) ==
+            la::svc::ClientSlot::kClaimed &&
+        cs.pid.load(std::memory_order_acquire) ==
+            static_cast<std::uint32_t>(holder_pid)) {
+      slot = &cs;
+      break;
+    }
+  }
+  CHECK(slot != nullptr);
+  if (slot == nullptr) {
+    server.stop();
+    return;
+  }
+  const std::uint64_t token =
+      slot->claim_token.load(std::memory_order_acquire);
+  CHECK(token != 0);  // Linux: the start-time stamp must be in place
+
+  // Negative control 1: live pid + matching token -> kept.
+  server.request_sweep();
+  CHECK(server.stats().reclaims == 0);
+
+  // Negative control 2: a zero token (stamp unavailable) degrades to
+  // pid-only liveness -> a live pid is still kept.
+  slot->claim_token.store(0, std::memory_order_release);
+  server.request_sweep();
+  CHECK(server.stats().reclaims == 0);
+
+  // The forgery: a live pid whose current start time cannot match the
+  // stamped token is exactly what a recycled pid looks like. The sweep
+  // must reclaim the slot and recover every held name.
+  slot->claim_token.store(token + 0x5EED, std::memory_order_release);
+  server.request_sweep();
+  const la::svc::ServerStats stats = server.stats();
+  CHECK(stats.reclaims == 1);
+  CHECK(stats.reclaimed_names == kHolderHolds);
+
+  // Quiescence: nothing is held, and the full contention bound is
+  // re-acquirable (a leaked name would cap this short).
+  {
+    std::vector<std::uint64_t> leftovers;
+    CHECK(structure.collect(leftovers) == 0);
+  }
+  {
+    la::svc::Client client(seg);
+    la::rng::MarsagliaXorshift rng(23);
+    std::vector<la::GetResult> got(kCapacity);
+    std::size_t have = 0;
+    la::sync::Backoff backoff;
+    for (int attempts = 0; have < kCapacity && attempts < 200000;
+         ++attempts) {
+      have += client.get_batch(rng, got.data() + have, kCapacity - have);
+      if (have < kCapacity) backoff.pause();
+    }
+    CHECK(have == kCapacity);
+    for (std::size_t i = 0; i < have; ++i) client.free(got[i].name);
+  }
+
+  // The holder is parked on names that no longer exist for it; end it.
+  CHECK(::kill(holder_pid, SIGKILL) == 0);
+  int status = 0;
+  CHECK(::waitpid(holder_pid, &status, 0) == holder_pid);
+  CHECK(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  CHECK(server.error().empty());
+  server.stop();
+}
+
+}  // namespace
+
+int main() {
+  using namespace la;
+
+  svc::SegmentConfig seg_config;
+  seg_config.max_clients = 8;
+  svc::Segment segment_a(seg_config);  // server-death test
+  svc::Segment segment_b(seg_config);  // forged-token test
+
+  // Fork every child before any thread exists in this process.
+  const pid_t server_pid = ::fork();
+  if (server_pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (server_pid == 0) server_child(segment_a.view());
+
+  const pid_t holder_pid = ::fork();
+  if (holder_pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (holder_pid == 0) {
+    // Blocks in the Client ctor until test_forged_token starts its
+    // server on segment B.
+    std::thread worker([&] { holder_child(segment_b.view()); });
+    worker.join();  // unreachable
+    ::_exit(4);
+  }
+
+  test_server_death(segment_a.view(), server_pid);
+  test_forged_token(segment_b.view(), holder_pid);
+
+  if (failures == 0) {
+    std::printf("test_svc_failures: all checks passed\n");
+    return 0;
+  }
+  std::printf("test_svc_failures: %d check(s) FAILED\n", failures);
+  return 1;
+}
