@@ -5,14 +5,22 @@
 #   2. svc: the rename-service daemon with real forked client processes
 #   3. bench-smoke: the --json pipeline emits parseable, nonzero reports,
 #      and the committed scaling/batch/svc gates hold
-#   4. AddressSanitizer/UBSan preset, same suite
-#   5. ThreadSanitizer preset, the concurrency-bearing targets
+#   4. verify: the exhaustive interleaving model checker over the
+#      lock-free core (src/verify/), every cell within its schedule
+#      budget, plus the mutant teeth checks
+#   5. lint: the static memory-order audit (scripts/atomics_lint.py
+#      against scripts/atomics_manifest.tsv) and, when clang-tidy is
+#      installed, the zero-warning .clang-tidy gate
+#   6. AddressSanitizer/UBSan preset, same suite
+#   7. ThreadSanitizer preset, the concurrency-bearing targets
 #
 # A single argument runs one tier against the tier-1 build:
 #   scripts/check.sh unit     # fast single-process tests only (ctest -L)
 #   scripts/check.sh stress   # real-thread suites
 #   scripts/check.sh smoke    # second-scale bench driver sweeps
 #   scripts/check.sh svc      # rename-service daemon, real processes
+#   scripts/check.sh verify   # model-check the lock-free core
+#   scripts/check.sh lint     # atomics manifest audit + clang-tidy
 #   scripts/check.sh bench-smoke | asan | tsan
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -71,6 +79,32 @@ run_svc() {
   ./build/test_svc_failures
 }
 
+run_verify() {
+  echo "== verify: exhaustive interleaving model checker =="
+  cmake -B build -S .
+  cmake --build build -j "${JOBS}" --target verify_runner verify_runner_mutant
+  # Every cell under its committed schedule budget (full DFS for the
+  # small trees, preemption-bounded for the big ones), plus the teeth
+  # checks: the seeded TasCell ordering mutant and the in-cell relaxed
+  # publish MUST be caught with a printed counterexample.
+  (cd build && ctest --output-on-failure -j "${JOBS}" -L verify)
+}
+
+run_lint() {
+  echo "== lint: static memory-order audit =="
+  python3 scripts/atomics_lint.py --self-test
+  python3 scripts/atomics_lint.py
+  if command -v clang-tidy > /dev/null 2>&1; then
+    echo "== lint: clang-tidy (.clang-tidy, zero-warning gate) =="
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+    # Library + verify sources; headers ride along via HeaderFilterRegex.
+    clang-tidy -p build --quiet --warnings-as-errors='*' \
+      src/*/*.cpp
+  else
+    echo "clang-tidy not installed; skipping the tidy half (CI runs it)"
+  fi
+}
+
 run_asan() {
   echo "== ASan/UBSan preset =="
   cmake -B build-asan -S . \
@@ -124,6 +158,12 @@ case "${TIER}" in
     build_tier1
     run_bench_smoke
     ;;
+  verify)
+    run_verify
+    ;;
+  lint)
+    run_lint
+    ;;
   asan)
     run_asan
     ;;
@@ -136,11 +176,13 @@ case "${TIER}" in
     (cd build && ctest --output-on-failure -j "${JOBS}")
     run_svc
     run_bench_smoke
+    run_verify
+    run_lint
     run_asan
     run_tsan
     ;;
   *)
-    echo "usage: $0 [unit|stress|smoke|svc|bench-smoke|asan|tsan]" >&2
+    echo "usage: $0 [unit|stress|smoke|svc|bench-smoke|verify|lint|asan|tsan]" >&2
     exit 2
     ;;
 esac

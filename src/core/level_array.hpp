@@ -9,6 +9,12 @@
 // The structure is "self-healing": started from any bad occupancy
 // distribution, steady-state churn drains overcrowded deep batches back
 // toward the balanced state (paper Fig. 3, reproduced by fig3_healing).
+//
+// Concurrency surface: every shared word here is a sync::TasCell read
+// through core::slot_scan — both of which sit on the la::detail::atomic
+// seam (sync/atomic_select.hpp), so under -DLEVELARRAY_VERIFY the probe/
+// claim/release/collect protocol below runs under the exhaustive
+// interleaving checker in src/verify/ with no changes to this file.
 #pragma once
 
 #include <cstdint>

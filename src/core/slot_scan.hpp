@@ -27,7 +27,12 @@
 
 #include "sync/tas_cell.hpp"
 
-#if defined(__SANITIZE_THREAD__)
+#if defined(LEVELARRAY_VERIFY)
+// Under the model checker a TasCell is a verify::atom (not 1 byte), so
+// the memcpy word load is meaningless — and the bytewise path is the
+// point anyway: every held() read becomes a scheduled yield point.
+#define LA_SLOT_SCAN_BYTEWISE_WORDS 1
+#elif defined(__SANITIZE_THREAD__)
 #define LA_SLOT_SCAN_BYTEWISE_WORDS 1
 #elif defined(__has_feature)
 #if __has_feature(thread_sanitizer)
@@ -225,7 +230,7 @@ std::size_t claim_clear(sync::TasCell* cells, std::uint64_t begin,
 // past its logical slot count are never set (the BitmapActivityArray
 // invariant), so no bound beyond the word count is needed.
 template <typename Fn>
-void for_each_set_bit(const std::atomic<std::uint64_t>* words,
+void for_each_set_bit(const la::detail::atomic<std::uint64_t>* words,
                       std::uint64_t word_count, Fn&& fn) {
   for (std::uint64_t w = 0; w < word_count; ++w) {
     std::uint64_t bits = words[w].load(std::memory_order_relaxed);

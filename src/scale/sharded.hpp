@@ -73,6 +73,7 @@
 #include "core/slot_scan.hpp"
 #include "core/types.hpp"
 #include "scale/thread_cache.hpp"
+#include "sync/atomic_select.hpp"
 #include "sync/cache.hpp"
 #include "sync/futex.hpp"
 #include "sync/spin_lock.hpp"
@@ -116,8 +117,8 @@ struct CacheSlot {
   std::uint32_t home_shard = 0;
   std::uint32_t first = 0;
   std::uint32_t top = 0;  // owner-only
-  std::atomic<std::uint64_t> hits{0};
-  std::atomic<std::uint64_t> parked{0};
+  la::detail::atomic<std::uint64_t> hits{0};
+  la::detail::atomic<std::uint64_t> parked{0};
 };
 
 // One shard's gate + statistics, padded together: the gate RMW already
@@ -125,14 +126,14 @@ struct CacheSlot {
 // it for free instead of bouncing a separate global line (which would
 // bias the very cross-thread traffic scaling_sweep measures).
 struct ShardCounters {
-  std::atomic<std::uint64_t> occupancy{0};  // the refusal gate
-  std::atomic<std::uint64_t> shared_gets{0};
-  std::atomic<std::uint64_t> direct_frees{0};
-  std::atomic<std::uint64_t> refusals{0};
+  la::detail::atomic<std::uint64_t> occupancy{0};  // the refusal gate
+  la::detail::atomic<std::uint64_t> shared_gets{0};
+  la::detail::atomic<std::uint64_t> direct_frees{0};
+  la::detail::atomic<std::uint64_t> refusals{0};
 };
 
 inline std::uint64_t next_instance_id() {
-  static std::atomic<std::uint64_t> source{1};
+  static la::detail::atomic<std::uint64_t> source{1};
   return source.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -172,7 +173,7 @@ class ShardedRenamer {
         config_.shards);
     caches_ = std::vector<sync::CachePadded<detail::CacheSlot>>(
         config_.max_threads);
-    bins_ = std::vector<std::atomic<std::uint64_t>>(
+    bins_ = std::vector<la::detail::atomic<std::uint64_t>>(
         static_cast<std::size_t>(config_.max_threads) *
         config_.cache_capacity);
     for (auto& bin : bins_) bin.store(0, std::memory_order_relaxed);
@@ -479,9 +480,15 @@ class ShardedRenamer {
   }
 
   std::uint32_t hashed_home() const {
+#if defined(LEVELARRAY_VERIFY)
+    // Every fiber shares the one real thread's id; the runtime's logical
+    // thread id keeps homes distinct per model-checked thread.
+    return ::la::verify::current_thread_id() % config_.shards;
+#else
     return static_cast<std::uint32_t>(
         std::hash<std::thread::id>{}(std::this_thread::get_id()) %
         config_.shards);
+#endif
   }
 
   GetResult grant(std::uint64_t name, std::uint32_t probes,
@@ -611,7 +618,7 @@ class ShardedRenamer {
   // The one copy of the steal protocol: exchange each bin out and
   // release whatever was parked there. Used by the full drain and by the
   // thread-exit flush (a one-slot restriction of the same loop).
-  void drain_bins(std::atomic<std::uint64_t>* bins, std::size_t count) const {
+  void drain_bins(la::detail::atomic<std::uint64_t>* bins, std::size_t count) const {
     for (std::size_t i = 0; i < count; ++i) {
       if (bins[i].load(std::memory_order_relaxed) == 0) continue;
       const std::uint64_t token =
@@ -624,7 +631,7 @@ class ShardedRenamer {
   // down from the stack hint over bins stealers may have emptied. The
   // exchange races concurrent steals; whoever reads nonzero owns it.
   std::uint64_t pop_parked(detail::CacheSlot& cache) {
-    std::atomic<std::uint64_t>* bins = bins_.data() + cache.first;
+    la::detail::atomic<std::uint64_t>* bins = bins_.data() + cache.first;
     for (std::uint32_t i = cache.top; i-- > 0;) {
       if (bins[i].load(std::memory_order_relaxed) == 0) continue;
       const std::uint64_t token =
@@ -647,7 +654,7 @@ class ShardedRenamer {
   // park invariant is preserved.
   std::size_t pop_parked_batch(detail::CacheSlot& cache, GetResult* out,
                                std::size_t k) {
-    std::atomic<std::uint64_t>* bins = bins_.data() + cache.first;
+    la::detail::atomic<std::uint64_t>* bins = bins_.data() + cache.first;
     std::size_t popped = 0;
     std::uint32_t i = cache.top;
     while (i > 0 && popped < k) {
@@ -679,7 +686,7 @@ class ShardedRenamer {
     std::size_t i = 0;
     if (config_.cache_capacity != 0) {
       if (detail::CacheSlot* cache = cache_slot()) {
-        std::atomic<std::uint64_t>* bins = bins_.data() + cache->first;
+        la::detail::atomic<std::uint64_t>* bins = bins_.data() + cache->first;
         std::uint32_t top = cache->top;
         while (i < count && top < config_.cache_capacity) {
           bins[top++].store(names[i++] + 1, std::memory_order_release);
@@ -740,7 +747,7 @@ class ShardedRenamer {
   // fairly), flushes the oldest batch to the shards if the cache was
   // genuinely full, and re-lays the rest from the bottom.
   void park(detail::CacheSlot& cache, std::uint64_t name) {
-    std::atomic<std::uint64_t>* bins = bins_.data() + cache.first;
+    la::detail::atomic<std::uint64_t>* bins = bins_.data() + cache.first;
     if (cache.top == config_.cache_capacity) {
       // Allocation-free two-pass compact (free() has already cleared the
       // held bit, so nothing here may throw short of real corruption).
@@ -781,10 +788,16 @@ class ShardedRenamer {
   // steady-state lookup a single compare; instance ids are never reused,
   // so a stale pair can only miss, never alias.
   detail::CacheSlot* cache_slot() {
+#if defined(LEVELARRAY_VERIFY)
+    // No memo under the checker: the thread_local pair would alias
+    // across fibers. The registry walk is the path being verified.
+    auto& attachments = ThreadAttachments::current();
+#else
     static thread_local std::uint64_t last_id = 0;
     static thread_local detail::CacheSlot* last_slot = nullptr;
     if (last_id == id_) return last_slot;
     auto& attachments = ThreadAttachments::current();
+#endif
     std::uint32_t slot = attachments.find(control_.get());
     if (slot == ThreadAttachments::kNotAttached) {
       slot = claim_slot();
@@ -792,8 +805,10 @@ class ShardedRenamer {
     }
     detail::CacheSlot* resolved =
         slot == ThreadAttachments::kNoCache ? nullptr : &*caches_[slot];
+#if !defined(LEVELARRAY_VERIFY)
     last_id = id_;
     last_slot = resolved;
+#endif
     return resolved;
   }
 
@@ -836,12 +851,12 @@ class ShardedRenamer {
   std::vector<sync::TasCell> held_;
   mutable std::vector<sync::CachePadded<detail::ShardCounters>> counts_;
   mutable std::vector<sync::CachePadded<detail::CacheSlot>> caches_;
-  mutable std::vector<std::atomic<std::uint64_t>> bins_;
+  mutable std::vector<la::detail::atomic<std::uint64_t>> bins_;
   sync::SpinLock claim_lock_;
   std::vector<std::uint32_t> free_slots_;
   std::size_t claimed_ = 0;
   std::shared_ptr<CacheControl> control_;
-  mutable std::atomic<std::uint64_t> drains_{0};
+  mutable la::detail::atomic<std::uint64_t> drains_{0};
   // The blocking tier (see get_for_impl): every release path notifies,
   // refused getters park. Internal waiters use the ticketed FIFO
   // wait_queue_ (wake-one + handoff bounds starvation by queue
@@ -850,9 +865,9 @@ class ShardedRenamer {
   // releases capacity.
   mutable sync::FutexWord free_signal_;
   mutable sync::WaitQueue wait_queue_;
-  mutable std::atomic<std::uint64_t> gate_wait_rounds_{0};
-  mutable std::atomic<std::uint64_t> gate_parks_{0};
-  mutable std::atomic<std::uint64_t> gate_timeouts_{0};
+  mutable la::detail::atomic<std::uint64_t> gate_wait_rounds_{0};
+  mutable la::detail::atomic<std::uint64_t> gate_parks_{0};
+  mutable la::detail::atomic<std::uint64_t> gate_timeouts_{0};
 };
 
 }  // namespace la::scale

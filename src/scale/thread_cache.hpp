@@ -28,12 +28,14 @@
 #include <utility>
 #include <vector>
 
+#include "sync/atomic_select.hpp"
+
 namespace la::scale {
 
 struct CacheControl {
   // The owning structure, or nullptr once it has been destroyed. The
   // thread-exit hook loads this before flushing.
-  std::atomic<void*> owner{nullptr};
+  la::detail::atomic<void*> owner{nullptr};
   // Type-erased "flush and release cache slot `slot` of `owner`".
   void (*flush)(void* owner, std::uint32_t slot) = nullptr;
 };
@@ -46,10 +48,29 @@ class ThreadAttachments {
   // runs uncached); remembered so the claim is not retried on every op.
   static constexpr std::uint32_t kNoCache = 0xFFFFFFFEu;
 
+#if defined(LEVELARRAY_VERIFY)
+  // Fibers share the one real thread's TLS, so `static thread_local`
+  // would alias every model-checked thread onto one registry. The verify
+  // runtime provides per-fiber TLS whose destructors run when the fiber
+  // body returns — *inside* scheduled execution, so the exit-flush
+  // ordering is itself explored by the checker.
+  static ThreadAttachments& current() {
+    static const unsigned key = ::la::verify::tls_key();
+    void* p = ::la::verify::tls_get(key);
+    if (p == nullptr) {
+      p = new ThreadAttachments();
+      ::la::verify::tls_set(key, p, [](void* q) {
+        delete static_cast<ThreadAttachments*>(q);
+      });
+    }
+    return *static_cast<ThreadAttachments*>(p);
+  }
+#else
   static ThreadAttachments& current() {
     static thread_local ThreadAttachments self;
     return self;
   }
+#endif
 
   std::uint32_t find(const CacheControl* control) const {
     for (const auto& entry : entries_) {

@@ -46,7 +46,11 @@ constexpr bool valid_ring_capacity(std::uint32_t capacity) {
   return capacity >= 2 && (capacity & (capacity - 1)) == 0;
 }
 
-// Slot must expose `std::atomic<std::uint32_t> seq` (protocol.hpp).
+// Slot must expose an atomic `seq` word with the std::atomic<uint32_t>
+// interface (protocol.hpp). The verify harness instantiates this very
+// template over a slot whose seq is a verify::atom<uint32_t>, so the
+// cursor handshake below — including the uint32 wraparound arithmetic —
+// is model-checked exactly as written, not via a hand-copied model.
 template <typename Slot>
 class RingView {
  public:

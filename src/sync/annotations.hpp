@@ -1,0 +1,29 @@
+// Clang thread-safety annotation macros (the abseil pattern): under
+// clang with -Wthread-safety the compiler statically checks that every
+// access to a GUARDED_BY member happens with the named capability held
+// and that ACQUIRE/RELEASE pairings balance on every path. Under GCC
+// (which has no such attributes) every macro expands to nothing, so the
+// annotations cost zero outside the clang CI job that enforces them.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define LA_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#if !defined(LA_THREAD_ANNOTATION)
+#define LA_THREAD_ANNOTATION(x)
+#endif
+
+#define LA_CAPABILITY(x) LA_THREAD_ANNOTATION(capability(x))
+#define LA_SCOPED_CAPABILITY LA_THREAD_ANNOTATION(scoped_lockable)
+#define LA_GUARDED_BY(x) LA_THREAD_ANNOTATION(guarded_by(x))
+#define LA_PT_GUARDED_BY(x) LA_THREAD_ANNOTATION(pt_guarded_by(x))
+#define LA_ACQUIRE(...) LA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define LA_RELEASE(...) LA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define LA_REQUIRES(...) LA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define LA_EXCLUDES(...) LA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define LA_RETURN_CAPABILITY(x) LA_THREAD_ANNOTATION(lock_returned(x))
+#define LA_NO_THREAD_SAFETY_ANALYSIS \
+  LA_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,56 @@
+// The one compile-time seam between the real atomics and the model
+// checker: every concurrency-bearing layer (sync/, core/slot_scan.hpp,
+// core/level_array.hpp, scale/, svc/ring.hpp slots) declares its shared
+// words as la::detail::atomic<T> instead of std::atomic<T>.
+//
+//   * Real builds: la::detail::atomic IS std::atomic — a pure alias, so
+//     codegen, layout, and the TSan story are untouched.
+//   * -DLEVELARRAY_VERIFY builds: the alias resolves to verify::atom<T>,
+//     whose every load/store/RMW is a yield point of the cooperative
+//     scheduler in src/verify/ — the schedule-exploring model checker
+//     interleaves threads at exactly the granularity the memory system
+//     does, tracks happens-before from the *declared* memory orders, and
+//     flags ordering downgrades as races on the data they were guarding.
+//
+// The seam is deliberately one alias (plus the matching fence function)
+// so the checked code is the shipped code: no #ifdef forks inside the
+// protocols, no hand-copied models that can drift. Layers outside the
+// lock-free core (svc segments shared across processes, stress logs,
+// arrays/) stay on std::atomic and are not part of the verify build.
+#pragma once
+
+#if defined(LEVELARRAY_VERIFY)
+
+#include "verify/atom.hpp"
+
+namespace la::detail {
+
+template <typename T>
+using atomic = ::la::verify::atom<T>;
+
+using atomic_flag = ::la::verify::atom_flag;
+
+inline void atomic_thread_fence(std::memory_order order) {
+  ::la::verify::fence(order);
+}
+
+}  // namespace la::detail
+
+#else
+
+#include <atomic>
+
+namespace la::detail {
+
+template <typename T>
+using atomic = ::std::atomic<T>;
+
+using atomic_flag = ::std::atomic_flag;
+
+inline void atomic_thread_fence(std::memory_order order) {
+  ::std::atomic_thread_fence(order);
+}
+
+}  // namespace la::detail
+
+#endif

@@ -50,6 +50,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "sync/atomic_select.hpp"
+
 #if defined(__linux__)
 #include <errno.h>
 #include <linux/futex.h>
@@ -84,7 +86,12 @@ class FutexWord {
   // host) across processes — which is what lets a svc client stamp a
   // deadline into a request slot the server enforces.
   static std::uint64_t monotonic_now_ns() {
-#if defined(__linux__)
+#if defined(LEVELARRAY_VERIFY)
+    // The model checker owns time: the virtual clock advances only when
+    // every thread is blocked on a deadline, so timeout paths are
+    // explored deterministically instead of raced against a wall clock.
+    return ::la::verify::virtual_now_ns();
+#elif defined(__linux__)
     struct timespec ts;
     clock_gettime(CLOCK_MONOTONIC, &ts);
     return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
@@ -137,7 +144,7 @@ class FutexWord {
   // Wake every committed waiter matching `bits` iff any waiters are
   // registered. Safe (and cheap) to call on every release path.
   void signal(std::uint32_t bits = kAllWakeBits) {
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    la::detail::atomic_thread_fence(std::memory_order_seq_cst);
     if (waiters_.load(std::memory_order_seq_cst) == 0) return;
     value_.fetch_add(1, std::memory_order_seq_cst);
     wake(bits);
@@ -151,7 +158,25 @@ class FutexWord {
  private:
   WaitResult wait_until(std::uint32_t seen, std::uint64_t deadline_ns,
                         std::uint32_t bits) {
-#if defined(__linux__)
+#if defined(LEVELARRAY_VERIFY)
+    // Cooperative park: block until some thread commits a store (every
+    // signal() bumps value_) or the virtual clock reaches the deadline.
+    // The eventcount re-check loop is identical to the real one, so the
+    // two-phase protocol itself is what gets model-checked.
+    (void)bits;
+    for (;;) {
+      if (value_.load(std::memory_order_seq_cst) != seen) {
+        return WaitResult::kWoken;
+      }
+      if (deadline_ns != kNoDeadline &&
+          ::la::verify::virtual_now_ns() >= deadline_ns) {
+        return WaitResult::kTimedOut;
+      }
+      ::la::verify::spin_yield(deadline_ns == kNoDeadline
+                                   ? ::la::verify::kNoDeadlineNs
+                                   : deadline_ns);
+    }
+#elif defined(__linux__)
     const int op =
         (shared_ != 0 ? FUTEX_WAIT_BITSET : FUTEX_WAIT_BITSET_PRIVATE);
     for (;;) {
@@ -203,7 +228,11 @@ class FutexWord {
   }
 
   void wake(std::uint32_t bits) {
-#if defined(__linux__)
+#if defined(LEVELARRAY_VERIFY)
+    // No kernel waiters exist under the checker; the value_ bump in
+    // signal() already unblocked every cooperative waiter.
+    (void)bits;
+#elif defined(__linux__)
     const int op =
         (shared_ != 0 ? FUTEX_WAKE_BITSET : FUTEX_WAKE_BITSET_PRIVATE);
     syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&value_), op,
@@ -215,11 +244,13 @@ class FutexWord {
 
   // Layout is fork/shared-memory friendly: three lock-free words, no
   // pointers, placement-constructed once by the segment creator.
-  std::atomic<std::uint32_t> value_{0};
-  std::atomic<std::uint32_t> waiters_{0};
+  la::detail::atomic<std::uint32_t> value_{0};
+  la::detail::atomic<std::uint32_t> waiters_{0};
   std::uint32_t shared_ = 0;
 };
 
+#if !defined(LEVELARRAY_VERIFY)
 static_assert(sizeof(FutexWord) <= 16, "FutexWord must stay a small POD-ish word");
+#endif
 
 }  // namespace la::sync

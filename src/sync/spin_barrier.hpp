@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "sync/atomic_select.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #endif
@@ -44,11 +46,18 @@ class Backoff {
  public:
   void pause() {
     ++spins_;
+#if defined(LEVELARRAY_VERIFY)
+    // Under the model checker a busy iteration must block the fiber
+    // until some other thread commits a store — re-running an identical
+    // failed check explores nothing and would read as a livelock.
+    ::la::verify::spin_yield(::la::verify::kNoDeadlineNs);
+#else
     if (spins_ <= kYieldAfter) {
       spin_pause();
     } else {
       std::this_thread::yield();
     }
+#endif
   }
 
   // True once this wait has outlived the spin and yield tiers; callers
@@ -58,8 +67,16 @@ class Backoff {
   void reset() { spins_ = 0; }
 
  private:
+#if defined(LEVELARRAY_VERIFY)
+  // Tiny tiers so harness cells reach the park path within their step
+  // budget — the ladder's *structure* is what the checker explores, not
+  // the production spin counts.
+  static constexpr std::uint32_t kYieldAfter = 2;
+  static constexpr std::uint32_t kParkAfterYields = 2;
+#else
   static constexpr std::uint32_t kYieldAfter = 256;
   static constexpr std::uint32_t kParkAfterYields = 64;
+#endif
   std::uint32_t spins_ = 0;
 };
 
@@ -95,9 +112,9 @@ class SpinBarrier {
 
  private:
   const std::uint32_t participants_;
-  std::atomic<std::uint32_t> arrived_{0};
-  std::atomic<bool> sense_{false};
-  std::atomic<bool> aborted_{false};
+  la::detail::atomic<std::uint32_t> arrived_{0};
+  la::detail::atomic<bool> sense_{false};
+  la::detail::atomic<bool> aborted_{false};
 };
 
 }  // namespace la::sync

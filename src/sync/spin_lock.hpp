@@ -7,17 +7,19 @@
 
 #include <atomic>
 
+#include "sync/annotations.hpp"
+#include "sync/atomic_select.hpp"
 #include "sync/spin_barrier.hpp"
 
 namespace la::sync {
 
-class SpinLock {
+class LA_CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() {
+  void lock() LA_ACQUIRE() {
     if (!locked_.exchange(true, std::memory_order_acquire)) return;
     Backoff backoff;
     do {
@@ -25,18 +27,20 @@ class SpinLock {
     } while (locked_.exchange(true, std::memory_order_acquire));
   }
 
-  void unlock() { locked_.store(false, std::memory_order_release); }
+  void unlock() LA_RELEASE() { locked_.store(false, std::memory_order_release); }
 
  private:
-  std::atomic<bool> locked_{false};
+  la::detail::atomic<bool> locked_{false};
 };
 
 // Scoped lock for SpinLock (std::lock_guard works too; this avoids the
 // <mutex> include in hot-path headers).
-class SpinLockGuard {
+class LA_SCOPED_CAPABILITY SpinLockGuard {
  public:
-  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.lock(); }
-  ~SpinLockGuard() { lock_.unlock(); }
+  explicit SpinLockGuard(SpinLock& lock) LA_ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinLockGuard() LA_RELEASE() { lock_.unlock(); }
   SpinLockGuard(const SpinLockGuard&) = delete;
   SpinLockGuard& operator=(const SpinLockGuard&) = delete;
 

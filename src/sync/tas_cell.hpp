@@ -2,10 +2,16 @@
 // activity array in this library. The paper's layout argument (§1, §5)
 // depends on the cell being a single dense byte: Collect() then reads 64
 // slots per cache line, which is what makes full-array scans cheap.
+//
+// Declared on the la::detail::atomic seam (sync/atomic_select.hpp) so
+// -DLEVELARRAY_VERIFY builds run the exact claim/release protocol under
+// the model checker in src/verify/.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+
+#include "sync/atomic_select.hpp"
 
 namespace la::sync {
 
@@ -19,7 +25,15 @@ class TasCell {
   // bouncing the line into exclusive state.
   bool try_acquire() {
     if (flag_.load(std::memory_order_relaxed) != 0) return false;
+#if defined(LEVELARRAY_VERIFY_MUTATE_TAS_ACQUIRE)
+    // Seeded ordering bug for the verify-tier teeth check: downgrading
+    // the claim edge to relaxed severs the synchronizes-with to the
+    // previous owner's release, and the model checker must catch it as
+    // a race on the data guarded by the cell.
+    return flag_.exchange(1, std::memory_order_relaxed) == 0;  // atomics-lint: mutation
+#else
     return flag_.exchange(1, std::memory_order_acquire) == 0;
+#endif
   }
 
   void release() { flag_.store(0, std::memory_order_release); }
@@ -34,9 +48,11 @@ class TasCell {
   bool held() const { return flag_.load(std::memory_order_relaxed) != 0; }
 
  private:
-  std::atomic<std::uint8_t> flag_{0};
+  la::detail::atomic<std::uint8_t> flag_{0};
 };
 
+#if !defined(LEVELARRAY_VERIFY)
 static_assert(sizeof(TasCell) == 1, "activity arrays require dense 1-byte slots");
+#endif
 
 }  // namespace la::sync

@@ -49,6 +49,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "sync/annotations.hpp"
+#include "sync/atomic_select.hpp"
 #include "sync/futex.hpp"
 #include "sync/spin_lock.hpp"
 
@@ -77,10 +79,18 @@ class WaitQueue {
     std::uint64_t ticket_ = 0;
     Waiter* prev_ = nullptr;
     Waiter* next_ = nullptr;
-    std::atomic<std::uint32_t> state_{kQueued};
+    la::detail::atomic<std::uint32_t> state_{kQueued};
   };
 
   WaitQueue() = default;
+  // Start the ticket counter at an arbitrary value. Tickets are 64-bit
+  // and never wrap in practice; what *does* wrap is the 32-bit futex
+  // bitset channel keyed by ticket % 32. The verify harness constructs
+  // queues at UINT32_MAX - 2 to exhaustively check FIFO grant order
+  // straight through that boundary.
+  explicit WaitQueue(std::uint64_t first_ticket)
+      : next_ticket_(first_ticket == 0 ? 1 : first_ticket),
+        first_ticket_(first_ticket == 0 ? 1 : first_ticket) {}
   WaitQueue(const WaitQueue&) = delete;
   WaitQueue& operator=(const WaitQueue&) = delete;
 
@@ -157,7 +167,7 @@ class WaitQueue {
   // load (mirrors FutexWord::signal), so release paths call it
   // unconditionally.
   std::uint64_t wake_one() {
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    la::detail::atomic_thread_fence(std::memory_order_seq_cst);
     if (count_.load(std::memory_order_seq_cst) == 0) return 0;
     std::uint64_t ticket = 0;
     std::uint32_t bits = 0;
@@ -179,7 +189,7 @@ class WaitQueue {
   // Grant every queued ticket (bulk Free-k: many slots released at
   // once). Returns how many waiters were granted.
   std::size_t wake_all() {
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    la::detail::atomic_thread_fence(std::memory_order_seq_cst);
     if (count_.load(std::memory_order_seq_cst) == 0) return 0;
     std::size_t woken = 0;
     {
@@ -200,11 +210,11 @@ class WaitQueue {
     return count_.load(std::memory_order_relaxed);
   }
   std::uint64_t tickets_issued() const {
-    return next_ticket_.load(std::memory_order_relaxed) - 1;
+    return next_ticket_.load(std::memory_order_relaxed) - first_ticket_;
   }
 
  private:
-  void link_back(Waiter& w) {
+  void link_back(Waiter& w) LA_REQUIRES(lock_) {
     w.prev_ = tail_;
     w.next_ = nullptr;
     if (tail_ != nullptr) {
@@ -215,7 +225,7 @@ class WaitQueue {
     tail_ = &w;
   }
 
-  void link_front(Waiter& w) {
+  void link_front(Waiter& w) LA_REQUIRES(lock_) {
     w.prev_ = nullptr;
     w.next_ = head_;
     if (head_ != nullptr) {
@@ -226,7 +236,7 @@ class WaitQueue {
     head_ = &w;
   }
 
-  void unlink(Waiter& w) {
+  void unlink(Waiter& w) LA_REQUIRES(lock_) {
     if (w.prev_ != nullptr) {
       w.prev_->next_ = w.next_;
     } else {
@@ -241,10 +251,11 @@ class WaitQueue {
   }
 
   SpinLock lock_;
-  Waiter* head_ = nullptr;  // oldest (next to grant)
-  Waiter* tail_ = nullptr;  // newest
-  std::atomic<std::uint64_t> next_ticket_{1};
-  std::atomic<std::uint32_t> count_{0};
+  Waiter* head_ LA_GUARDED_BY(lock_) = nullptr;  // oldest (next to grant)
+  Waiter* tail_ LA_GUARDED_BY(lock_) = nullptr;  // newest
+  la::detail::atomic<std::uint64_t> next_ticket_{1};
+  const std::uint64_t first_ticket_ = 1;
+  la::detail::atomic<std::uint32_t> count_{0};
   FutexWord word_;  // process-private sleep word; nodes never sleep on
                     // their own memory (see the use-after-free note above)
 };

@@ -1,0 +1,314 @@
+// verify::atom<T> — the atomic interposition shim of the model checker.
+//
+// Under -DLEVELARRAY_VERIFY the la::detail::atomic alias
+// (sync/atomic_select.hpp) resolves to this type, so every shared-word
+// load/store/RMW in the lock-free core becomes a *yield point* of the
+// cooperative scheduler in src/verify/runtime.cpp:
+//
+//   1. the op announces itself (object, kind, read/write) and parks the
+//      fiber — the explorer now knows exactly which ops are enabled and
+//      what they touch, which is what sleep-set pruning feeds on;
+//   2. when the scheduler picks this thread, the op executes against the
+//      plain value_ (the whole program is one OS thread, so plain reads
+//      and writes are serialized by construction — sequential
+//      consistency is the execution model);
+//   3. the commit records the op in the schedule trace and updates the
+//      happens-before vector clocks *from the declared memory order
+//      only*. A release store publishes the writer's clock; a relaxed
+//      store wipes the object's clock; an acquire load joins it.
+//
+// Step 3 is the teeth: verify::var<T> harness variables are checked
+// FastTrack-style against those clocks, so downgrading an ordering
+// (acquire -> relaxed) surfaces as a data race on the data the ordering
+// was guarding, even though the SC execution itself never reorders.
+//
+// The shim deliberately exposes only the std::atomic surface the core
+// actually uses (house style: every call names its order explicitly) —
+// a narrow surface keeps scripts/atomics_lint.py's extraction exact.
+#pragma once
+
+#include <atomic>  // std::memory_order
+#include <cstdint>
+#include <type_traits>
+
+namespace la::verify {
+
+// Thrown through a fiber to unwind it when the current schedule is
+// being aborted (violation found or budget exhausted). Never escapes
+// the fiber trampoline.
+struct ScheduleAborted {};
+
+enum class OpKind : unsigned char {
+  kLoad,
+  kStore,
+  kRmw,
+  kFence,
+  kSpin,      // blocked in a spin/park loop (Backoff, futex wait)
+  kVarRead,   // plain harness variable access (trace only)
+  kVarWrite,
+};
+
+// Per-schedule object id, generation-tagged so static-lifetime atoms
+// cached across schedules re-register lazily. 0 == unregistered.
+using Handle = std::uint64_t;
+
+inline constexpr std::uint64_t kNoDeadlineNs = ~std::uint64_t{0};
+
+// ----------------------------------------------------------- runtime hooks
+// Implemented in runtime.cpp. When no schedule is executing
+// (engine_active() == false) the atoms degrade to plain serialized
+// accesses, which keeps static initializers and teardown safe.
+bool engine_active();
+Handle obj_handle(Handle cached, const char* tag);  // atomic objects
+Handle var_handle(Handle cached, const char* tag);  // plain harness vars
+void set_tag(Handle h, const char* tag);
+void yield_op(Handle h, OpKind kind, bool is_write);
+void commit_load(Handle h, std::memory_order mo, std::uint64_t v);
+void commit_store(Handle h, std::memory_order mo, std::uint64_t v);
+void commit_rmw(Handle h, std::memory_order mo, std::uint64_t before,
+                std::uint64_t after);
+void commit_fence(std::memory_order mo);
+void var_read(Handle h, std::uint64_t v);
+void var_write(Handle h, std::uint64_t v);
+
+// Cooperative replacement for spin/park waits: blocks this thread until
+// any other thread commits a store/RMW (or, with a deadline, until the
+// virtual clock reaches it). All-blocked with no deadlines pending is
+// reported as a deadlock; with deadlines, virtual time advances.
+void spin_yield(std::uint64_t deadline_ns);
+
+// Virtual CLOCK_MONOTONIC for deadline paths (futex.hpp) — advances
+// only when every thread is blocked on a deadline.
+std::uint64_t virtual_now_ns();
+
+// Scheduler-thread id of the currently running fiber (0 = the cell's
+// root thread). Used where the library hashes std::this_thread::get_id.
+unsigned current_thread_id();
+
+// Per-fiber TLS, replacing `static thread_local` in library code under
+// verify (fibers share the one real thread's TLS). Destructors run when
+// the fiber's body returns, inside scheduled execution, mirroring
+// thread-exit semantics (that ordering is itself model-checked).
+unsigned tls_key();
+void* tls_get(unsigned key);
+void tls_set(unsigned key, void* p, void (*dtor)(void*));
+
+// ----------------------------------------------------------------- fence
+inline void fence(std::memory_order order) {
+  if (!engine_active()) return;
+  yield_op(0, OpKind::kFence, true);
+  commit_fence(order);
+}
+
+namespace detail {
+template <typename U>
+inline std::uint64_t to_u64(U v) {
+  if constexpr (std::is_pointer_v<U>) {
+    return reinterpret_cast<std::uintptr_t>(v);
+  } else {
+    return static_cast<std::uint64_t>(v);
+  }
+}
+}  // namespace detail
+
+// ----------------------------------------------------------------- atom<T>
+template <typename T>
+class atom {
+ public:
+  atom() noexcept = default;
+  explicit atom(T v) noexcept : value_(v) {}
+  atom(const atom&) = delete;
+  atom& operator=(const atom&) = delete;
+
+  T load(std::memory_order order) const {
+    if (!engine_active()) return value_;
+    h_ = obj_handle(h_, nullptr);
+    yield_op(h_, OpKind::kLoad, false);
+    T v = value_;
+    commit_load(h_, order, detail::to_u64(v));
+    return v;
+  }
+
+  void store(T v, std::memory_order order) {
+    if (!engine_active()) {
+      value_ = v;
+      return;
+    }
+    h_ = obj_handle(h_, nullptr);
+    yield_op(h_, OpKind::kStore, true);
+    value_ = v;
+    commit_store(h_, order, detail::to_u64(v));
+  }
+
+  T exchange(T v, std::memory_order order) {
+    if (!engine_active()) {
+      T before = value_;
+      value_ = v;
+      return before;
+    }
+    h_ = obj_handle(h_, nullptr);
+    yield_op(h_, OpKind::kRmw, true);
+    T before = value_;
+    value_ = v;
+    commit_rmw(h_, order, detail::to_u64(before), detail::to_u64(v));
+    return before;
+  }
+
+  T fetch_add(T arg, std::memory_order order) {
+    if (!engine_active()) {
+      T before = value_;
+      value_ = static_cast<T>(value_ + arg);
+      return before;
+    }
+    h_ = obj_handle(h_, nullptr);
+    yield_op(h_, OpKind::kRmw, true);
+    T before = value_;
+    value_ = static_cast<T>(before + arg);
+    commit_rmw(h_, order, detail::to_u64(before), detail::to_u64(value_));
+    return before;
+  }
+
+  T fetch_sub(T arg, std::memory_order order) {
+    if (!engine_active()) {
+      T before = value_;
+      value_ = static_cast<T>(value_ - arg);
+      return before;
+    }
+    h_ = obj_handle(h_, nullptr);
+    yield_op(h_, OpKind::kRmw, true);
+    T before = value_;
+    value_ = static_cast<T>(before - arg);
+    commit_rmw(h_, order, detail::to_u64(before), detail::to_u64(value_));
+    return before;
+  }
+
+  T fetch_or(T arg, std::memory_order order) {
+    if (!engine_active()) {
+      T before = value_;
+      value_ = static_cast<T>(value_ | arg);
+      return before;
+    }
+    h_ = obj_handle(h_, nullptr);
+    yield_op(h_, OpKind::kRmw, true);
+    T before = value_;
+    value_ = static_cast<T>(before | arg);
+    commit_rmw(h_, order, detail::to_u64(before), detail::to_u64(value_));
+    return before;
+  }
+
+  T fetch_and(T arg, std::memory_order order) {
+    if (!engine_active()) {
+      T before = value_;
+      value_ = static_cast<T>(value_ & arg);
+      return before;
+    }
+    h_ = obj_handle(h_, nullptr);
+    yield_op(h_, OpKind::kRmw, true);
+    T before = value_;
+    value_ = static_cast<T>(before & arg);
+    commit_rmw(h_, order, detail::to_u64(before), detail::to_u64(value_));
+    return before;
+  }
+
+  // CAS: announced as a write even when it fails (the failure case is a
+  // load) — conservative for sleep-set dependency, which keeps pruning
+  // sound. Weak == strong: fibers never fail spuriously, and the
+  // spurious-failure behaviors are a subset of real-failure behaviors.
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure) {
+    if (!engine_active()) {
+      if (value_ == expected) {
+        value_ = desired;
+        return true;
+      }
+      expected = value_;
+      return false;
+    }
+    h_ = obj_handle(h_, nullptr);
+    yield_op(h_, OpKind::kRmw, true);
+    if (value_ == expected) {
+      T before = value_;
+      value_ = desired;
+      commit_rmw(h_, success, detail::to_u64(before), detail::to_u64(desired));
+      return true;
+    }
+    expected = value_;
+    commit_load(h_, failure, detail::to_u64(value_));
+    return false;
+  }
+
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure) {
+    return compare_exchange_strong(expected, desired, success, failure);
+  }
+
+  // Harness affordance: name this object in counterexample traces.
+  void verify_tag(const char* tag) {
+    h_ = obj_handle(h_, tag);
+    set_tag(h_, tag);
+  }
+
+ private:
+  T value_{};
+  mutable Handle h_ = 0;
+};
+
+// ------------------------------------------------------------- atom_flag
+class atom_flag {
+ public:
+  atom_flag() noexcept = default;
+  atom_flag(const atom_flag&) = delete;
+  atom_flag& operator=(const atom_flag&) = delete;
+
+  bool test_and_set(std::memory_order order) {
+    return cell_.exchange(true, order);
+  }
+
+  void clear(std::memory_order order) { cell_.store(false, order); }
+
+  void verify_tag(const char* tag) { cell_.verify_tag(tag); }
+
+ private:
+  atom<bool> cell_;
+};
+
+// ---------------------------------------------------------------- var<T>
+// A plain (non-atomic) harness variable: every access is checked
+// against the happens-before clocks the declared memory orders built.
+// Cells place these where the protocol promises exclusion or
+// publication — inside a TasCell critical section, in a ring slot's
+// payload — so an ordering downgrade in the library turns into a
+// concrete, trace-printed data race here.
+template <typename T>
+class var {
+ public:
+  var() noexcept = default;
+  explicit var(const char* tag) : tag_(tag) {}
+  var(const var&) = delete;
+  var& operator=(const var&) = delete;
+
+  T read() const {
+    if (!engine_active()) return value_;
+    h_ = var_handle(h_, tag_);
+    var_read(h_, detail::to_u64(value_));
+    return value_;
+  }
+
+  void write(T v) {
+    if (!engine_active()) {
+      value_ = v;
+      return;
+    }
+    h_ = var_handle(h_, tag_);
+    var_write(h_, detail::to_u64(v));
+    value_ = v;
+  }
+
+ private:
+  T value_{};
+  const char* tag_ = nullptr;
+  mutable Handle h_ = 0;
+};
+
+}  // namespace la::verify

@@ -1,0 +1,144 @@
+// verify_runner — the model-checker CLI.
+//
+//   verify_runner                        run every registered cell
+//   verify_runner --list                 list cells and exit
+//   verify_runner --cell=NAME            run one cell
+//   verify_runner --max-schedules=N      per-cell schedule budget (0 = off)
+//   verify_runner --max-steps=N          per-schedule op budget
+//   verify_runner --preemptions=K        bounded-preemption search (0 = full)
+//   verify_runner --replay=SEED          replay one schedule (needs --cell)
+//   verify_runner --expect-violation     invert: exploration must violate
+//
+// Exit 0 iff every selected cell met its expectation (normal cells: no
+// violation and at least one schedule explored; mutant cells, or any
+// cell under --expect-violation: a violation found and printed). A
+// violation report carries the message, the replay seed, and the full
+// interleaving trace.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "verify/runtime.hpp"
+
+namespace {
+
+void print_violation(const la::verify::ExploreResult& result) {
+  std::printf("  violation: %s\n", result.violation_message.c_str());
+  std::printf("  replay seed: --replay=%s\n",
+              result.violation_seed.empty() ? "(deterministic prefix)"
+                                            : result.violation_seed.c_str());
+  std::printf("  counterexample schedule:\n%s",
+              result.violation_trace.c_str());
+}
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string only_cell;
+  la::verify::ExploreOptions options;
+  bool list_only = false;
+  bool force_expect_violation = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::uint64_t value = 0;
+    if (std::strcmp(arg, "--list") == 0) {
+      list_only = true;
+    } else if (std::strncmp(arg, "--cell=", 7) == 0) {
+      only_cell = arg + 7;
+    } else if (std::strncmp(arg, "--max-schedules=", 16) == 0 &&
+               parse_u64(arg + 16, &value)) {
+      options.max_schedules = value;
+    } else if (std::strncmp(arg, "--max-steps=", 12) == 0 &&
+               parse_u64(arg + 12, &value)) {
+      options.max_steps = value;
+    } else if (std::strncmp(arg, "--preemptions=", 14) == 0 &&
+               parse_u64(arg + 14, &value)) {
+      options.preemption_bound = static_cast<unsigned>(value);
+    } else if (std::strncmp(arg, "--replay=", 9) == 0) {
+      options.replay_seed = arg + 9;
+    } else if (std::strcmp(arg, "--expect-violation") == 0) {
+      force_expect_violation = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return 2;
+    }
+  }
+
+  const auto& cells = la::verify::cells();
+  if (list_only) {
+    for (const auto& cell : cells) {
+      std::printf("%-28s %s%s\n", cell.name, cell.summary,
+                  cell.expects_violation ? "  [mutant]" : "");
+    }
+    return 0;
+  }
+  if (!options.replay_seed.empty() && only_cell.empty()) {
+    std::fprintf(stderr, "--replay requires --cell=NAME\n");
+    return 2;
+  }
+
+  int failures = 0;
+  int matched = 0;
+  for (const auto& cell : cells) {
+    if (!only_cell.empty() && only_cell != cell.name) continue;
+    ++matched;
+    const auto result = la::verify::explore(cell.body, options);
+    const bool expect_violation =
+        cell.expects_violation || force_expect_violation;
+
+    std::printf(
+        "[%s] schedules=%llu pruned=%llu steps=%llu depth=%llu %s\n",
+        cell.name, static_cast<unsigned long long>(result.schedules),
+        static_cast<unsigned long long>(result.pruned),
+        static_cast<unsigned long long>(result.steps),
+        static_cast<unsigned long long>(result.max_depth),
+        result.complete ? "complete" : "budget-capped");
+
+    if (!options.replay_seed.empty()) {
+      // Replay mode: always print the schedule; the violation check
+      // below still applies (a replayed counterexample must reproduce).
+      if (!result.violation) {
+        std::printf("  replayed schedule:\n%s", result.violation_trace.c_str());
+      }
+    }
+
+    bool ok;
+    if (expect_violation) {
+      ok = result.violation;
+      if (ok) {
+        std::printf("  expected violation found:\n");
+        print_violation(result);
+      } else {
+        std::printf(
+            "  FAIL: mutant explored %llu schedules without a violation — "
+            "the checker has no teeth for this cell\n",
+            static_cast<unsigned long long>(result.schedules));
+      }
+    } else {
+      ok = !result.violation && result.schedules > 0;
+      if (result.violation) {
+        print_violation(result);
+      } else if (result.schedules == 0) {
+        std::printf("  FAIL: zero schedules explored\n");
+      }
+    }
+    if (!ok) ++failures;
+  }
+
+  if (matched == 0) {
+    std::fprintf(stderr, "no cell matches '%s' (see --list)\n",
+                 only_cell.c_str());
+    return 2;
+  }
+  return failures == 0 ? 0 : 1;
+}

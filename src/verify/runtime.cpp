@@ -1,0 +1,1082 @@
+// The model-checker engine: cooperative fibers + DFS schedule explorer.
+//
+// One OS thread hosts everything. Each model-checked thread is a
+// ucontext fiber; every atom op announces itself (object, kind,
+// read/write) and parks the fiber, the controller picks who runs next,
+// and the chosen fiber executes its announced op against plain memory
+// (one fiber at a time == sequentially consistent execution) then runs
+// uninterrupted to its next announcement. Choice points — moments with
+// more than one runnable thread — form the DFS tree; sleep sets prune
+// branches that only reorder independent ops, and an optional
+// preemption bound caps forced context switches.
+//
+// Weak-memory checking rides on top: commits update vector clocks from
+// the DECLARED memory orders (release store publishes the writer's
+// clock; relaxed store wipes it; acquire load/RMW joins it; relaxed RMW
+// preserves it — the C++17 release-sequence rule; seq_cst fences join
+// through a global fence clock), and verify::var accesses are checked
+// FastTrack-style against those clocks. Downgrade an ordering in the
+// library and the var it was guarding races — reported with the full
+// schedule and a replay seed.
+//
+// Soundness note on granularity: a transition is "announced op + local
+// computation until the next announcement", and sleep-set dependency
+// looks only at announced atomic ops. That is the standard sync-op
+// granularity argument: for programs whose plain accesses are
+// race-free, bundled var effects commute whenever the announced ops do;
+// programs that are NOT race-free are flagged by the clock checker in
+// whatever schedule runs first, so nothing is lost either way.
+//
+// On a violation the engine abandons all unfinished fibers (their
+// stacks are freed without unwinding — the process is about to print
+// the counterexample and exit), which keeps abort paths out of every
+// destructor in the checked code.
+#include "verify/runtime.hpp"
+
+#include <ucontext.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+
+#include "verify/atom.hpp"
+
+namespace la::verify {
+
+namespace {
+
+constexpr unsigned kNone = 0xFFFFFFFFu;
+constexpr std::size_t kFiberStackBytes = 256 * 1024;
+// Virtual CLOCK_MONOTONIC origin: an arbitrary nonzero instant.
+constexpr std::uint64_t kVirtualBase = 1'000'000'000ull;
+constexpr std::size_t kTracePrintCap = 200;
+
+using Clock = std::array<std::uint32_t, kMaxThreads>;
+
+void vc_join(Clock& into, const Clock& from) {
+  for (unsigned i = 0; i < kMaxThreads; ++i) {
+    if (from[i] > into[i]) into[i] = from[i];
+  }
+}
+
+bool is_acquire(std::memory_order mo) {
+  return mo == std::memory_order_acquire || mo == std::memory_order_consume ||
+         mo == std::memory_order_acq_rel || mo == std::memory_order_seq_cst;
+}
+
+bool is_release(std::memory_order mo) {
+  return mo == std::memory_order_release || mo == std::memory_order_acq_rel ||
+         mo == std::memory_order_seq_cst;
+}
+
+const char* mo_name(std::memory_order mo) {
+  switch (mo) {
+    case std::memory_order_relaxed: return "rlx";
+    case std::memory_order_consume: return "cns";
+    case std::memory_order_acquire: return "acq";
+    case std::memory_order_release: return "rel";
+    case std::memory_order_acq_rel: return "ar";
+    case std::memory_order_seq_cst: return "sc";
+  }
+  return "?";
+}
+
+struct TlsEntry {
+  unsigned key = 0;
+  void* value = nullptr;
+  void (*dtor)(void*) = nullptr;
+};
+
+struct Task {
+  ucontext_t ctx;
+  std::unique_ptr<char[]> stack;
+  std::function<void()> body;
+  enum class State : unsigned char { kRunnable, kBlocked, kFinished };
+  enum class Block : unsigned char { kNone, kSpin, kJoin };
+  State state = State::kRunnable;
+  Block block = Block::kNone;
+  bool started = false;
+  // The announced (not yet executed) op; has_pending == false for a
+  // freshly spawned or just-resumed fiber, which the dependency relation
+  // treats as "unknown: conflicts with everything".
+  bool has_pending = false;
+  OpKind pending_kind = OpKind::kSpin;
+  std::uint32_t pending_obj = kNone;
+  bool pending_write = false;
+  std::uint64_t block_deadline = kNoDeadlineNs;
+  // Last global store epoch this task's spin loop observed; spin_yield
+  // blocks only when nothing has been stored since (else one more
+  // condition re-check round is forced — the lost-wakeup guard).
+  std::uint64_t spin_epoch = 0;
+  Clock clock{};
+  std::vector<TlsEntry> tls;
+};
+
+struct ObjState {
+  const char* tag = nullptr;
+  // Release clock: the vector clock an acquire load of this object
+  // joins. All-zero == no release edge available.
+  Clock sync{};
+};
+
+struct VarState {
+  const char* tag = nullptr;
+  unsigned write_tid = kNone;
+  std::uint32_t write_time = 0;
+  std::array<std::uint32_t, kMaxThreads> read_time{};
+};
+
+struct TraceStep {
+  unsigned tid = 0;
+  OpKind kind = OpKind::kLoad;
+  std::uint32_t obj = kNone;  // objects_ index, or vars_ index for kVar*
+  std::memory_order mo = std::memory_order_seq_cst;
+  std::uint64_t a = 0;  // load/read value, rmw before, store value
+  std::uint64_t b = 0;  // rmw after
+};
+
+struct Node {
+  std::vector<unsigned> runnable;
+  std::vector<unsigned> sleep;
+  unsigned chosen = kNone;
+  unsigned prev_running = kNone;
+  unsigned preemptions = 0;
+};
+
+class Engine;
+Engine* g_engine = nullptr;
+
+class Engine {
+ public:
+  Engine(void (*body)(), const ExploreOptions& options)
+      : cell_body_(body), opts_(options) {}
+
+  ExploreResult run() {
+    if (!opts_.replay_seed.empty()) {
+      replay_mode_ = true;
+      if (!parse_seed(opts_.replay_seed)) {
+        result_.violation = true;
+        result_.violation_message =
+            "malformed replay seed '" + opts_.replay_seed + "'";
+        return result_;
+      }
+      run_one_schedule();
+      result_.schedules = 1;
+      finish_violation_report();
+      // A replay prints its trace whether or not it violates.
+      if (!result_.violation) result_.violation_trace = render_trace();
+      return result_;
+    }
+    for (;;) {
+      const bool executed = run_one_schedule();
+      if (executed) {
+        ++result_.schedules;
+      } else {
+        ++result_.pruned;
+      }
+      if (nodes_.size() > result_.max_depth) result_.max_depth = nodes_.size();
+      if (violation_) {
+        finish_violation_report();
+        break;
+      }
+      if (opts_.max_schedules != 0 &&
+          result_.schedules >= opts_.max_schedules) {
+        break;
+      }
+      if (!advance()) {
+        result_.complete = true;
+        break;
+      }
+    }
+    return result_;
+  }
+
+  // ----------------------------------------------------------- atom hooks
+
+  bool active() const { return active_ && !aborting_; }
+
+  Handle make_obj_handle(Handle cached, const char* tag) {
+    if (cached != 0 && (cached >> 32) == generation_) return cached;
+    const std::uint32_t idx = static_cast<std::uint32_t>(objects_.size());
+    objects_.push_back(ObjState{tag, {}});
+    return (static_cast<std::uint64_t>(generation_) << 32) | (idx + 1);
+  }
+
+  Handle make_var_handle(Handle cached, const char* tag) {
+    if (cached != 0 && (cached >> 32) == generation_) return cached;
+    const std::uint32_t idx = static_cast<std::uint32_t>(vars_.size());
+    vars_.push_back(VarState{tag, kNone, 0, {}});
+    return (static_cast<std::uint64_t>(generation_) << 32) | (idx + 1);
+  }
+
+  void tag_obj(Handle h, const char* tag) {
+    objects_[obj_index(h)].tag = tag;
+  }
+
+  void yield_op(Handle h, OpKind kind, bool is_write) {
+    Task& t = *tasks_[running_];
+    t.has_pending = true;
+    t.pending_kind = kind;
+    t.pending_obj = (h == 0) ? kNone : obj_index(h);
+    t.pending_write = is_write;
+    switch_to_controller();
+    t.has_pending = false;
+  }
+
+  void commit_load(Handle h, std::memory_order mo, std::uint64_t v) {
+    if (aborting_) return;
+    Task& t = *tasks_[running_];
+    ObjState& o = objects_[obj_index(h)];
+    tick(t);
+    if (is_acquire(mo)) vc_join(t.clock, o.sync);
+    trace_.push_back({running_, OpKind::kLoad, obj_index(h), mo, v, 0});
+  }
+
+  void commit_store(Handle h, std::memory_order mo, std::uint64_t v) {
+    if (aborting_) return;
+    Task& t = *tasks_[running_];
+    ObjState& o = objects_[obj_index(h)];
+    tick(t);
+    if (is_release(mo)) {
+      o.sync = t.clock;
+    } else {
+      // A plain store (any thread) breaks the release sequence (C++17).
+      o.sync = Clock{};
+    }
+    trace_.push_back({running_, OpKind::kStore, obj_index(h), mo, v, 0});
+    on_store_committed();
+  }
+
+  void commit_rmw(Handle h, std::memory_order mo, std::uint64_t before,
+                  std::uint64_t after) {
+    if (aborting_) return;
+    Task& t = *tasks_[running_];
+    ObjState& o = objects_[obj_index(h)];
+    tick(t);
+    if (is_acquire(mo)) vc_join(t.clock, o.sync);
+    if (is_release(mo)) {
+      // Join rather than replace: an RMW continues the release sequence
+      // of whatever store it read from.
+      vc_join(o.sync, t.clock);
+    }
+    // Relaxed RMW: o.sync preserved untouched (release-sequence rule).
+    trace_.push_back({running_, OpKind::kRmw, obj_index(h), mo, before, after});
+    on_store_committed();
+  }
+
+  void commit_fence(std::memory_order mo) {
+    if (aborting_) return;
+    Task& t = *tasks_[running_];
+    tick(t);
+    if (is_acquire(mo) || mo == std::memory_order_seq_cst) {
+      vc_join(t.clock, fence_clock_);
+    }
+    if (is_release(mo) || mo == std::memory_order_seq_cst) {
+      vc_join(fence_clock_, t.clock);
+    }
+    trace_.push_back({running_, OpKind::kFence, kNone, mo, 0, 0});
+  }
+
+  void var_read(Handle h, std::uint64_t v) {
+    if (aborting_) return;
+    Task& t = *tasks_[running_];
+    VarState& s = vars_[obj_index(h)];
+    tick(t);
+    trace_.push_back({running_, OpKind::kVarRead, obj_index(h),
+                      std::memory_order_relaxed, v, 0});
+    if (s.write_tid != kNone && s.write_tid != running_ &&
+        t.clock[s.write_tid] < s.write_time) {
+      report_race("read", running_, "write", s.write_tid, h);
+      return;
+    }
+    s.read_time[running_] = t.clock[running_];
+  }
+
+  void var_write(Handle h, std::uint64_t v) {
+    if (aborting_) return;
+    Task& t = *tasks_[running_];
+    VarState& s = vars_[obj_index(h)];
+    tick(t);
+    trace_.push_back({running_, OpKind::kVarWrite, obj_index(h),
+                      std::memory_order_relaxed, v, 0});
+    if (s.write_tid != kNone && s.write_tid != running_ &&
+        t.clock[s.write_tid] < s.write_time) {
+      report_race("write", running_, "write", s.write_tid, h);
+      return;
+    }
+    for (unsigned u = 0; u < kMaxThreads; ++u) {
+      if (u != running_ && s.read_time[u] != 0 &&
+          t.clock[u] < s.read_time[u]) {
+        report_race("write", running_, "read", u, h);
+        return;
+      }
+    }
+    s.write_tid = running_;
+    s.write_time = t.clock[running_];
+    // Subsequent reads must be ordered after this write anyway; the read
+    // set restarts (FastTrack's write-epoch transition).
+    s.read_time = {};
+  }
+
+  void spin_yield(std::uint64_t deadline_ns) {
+    if (!active()) return;
+    Task& t = *tasks_[running_];
+    if (t.spin_epoch != store_epoch_) {
+      // Something was stored since this loop last checked its condition
+      // (e.g. a Free slipped in mid-sweep, before this pause): force one
+      // more re-check round instead of blocking through the wakeup.
+      t.spin_epoch = store_epoch_;
+      t.has_pending = true;
+      t.pending_kind = OpKind::kSpin;
+      t.pending_obj = kNone;
+      t.pending_write = false;
+      switch_to_controller();
+      t.has_pending = false;
+      return;
+    }
+    // Nothing stored since the condition was last evaluated, and no
+    // other fiber ran between that evaluation and here (cooperative
+    // scheduling): blocking cannot lose a wakeup.
+    trace_.push_back({running_, OpKind::kSpin, kNone,
+                      std::memory_order_relaxed, deadline_ns, 0});
+    t.state = Task::State::kBlocked;
+    t.block = Task::Block::kSpin;
+    t.block_deadline = deadline_ns;
+    t.has_pending = true;
+    t.pending_kind = OpKind::kSpin;
+    t.pending_obj = kNone;
+    t.pending_write = false;
+    switch_to_controller();
+    t.has_pending = false;
+    t.block_deadline = kNoDeadlineNs;
+    t.spin_epoch = store_epoch_;
+  }
+
+  std::uint64_t now_ns() const { return vt_; }
+
+  unsigned running_tid() const { return running_ == kNone ? 0 : running_; }
+
+  unsigned new_tls_key() { return tls_key_source_++; }
+
+  void* tls_get(unsigned key) {
+    Task& t = *tasks_[running_];
+    for (const TlsEntry& e : t.tls) {
+      if (e.key == key) return e.value;
+    }
+    return nullptr;
+  }
+
+  void tls_set(unsigned key, void* p, void (*dtor)(void*)) {
+    Task& t = *tasks_[running_];
+    for (TlsEntry& e : t.tls) {
+      if (e.key == key) {
+        e.value = p;
+        e.dtor = dtor;
+        return;
+      }
+    }
+    t.tls.push_back(TlsEntry{key, p, dtor});
+  }
+
+  // ----------------------------------------------------------- cell surface
+
+  void spawn(std::function<void()> body) {
+    if (aborting_) return;
+    if (tasks_.size() >= kMaxThreads) {
+      report_violation("cell spawned more than " +
+                       std::to_string(kMaxThreads - 1) + " threads");
+      return;
+    }
+    Task& parent = *tasks_[running_];
+    tick(parent);
+    Task& child = create_task(std::move(body));
+    child.clock = parent.clock;  // spawn edge
+  }
+
+  void join_all() {
+    Task& t = *tasks_[running_];
+    for (;;) {
+      bool all_done = true;
+      for (unsigned i = 0; i < tasks_.size(); ++i) {
+        if (i != running_ && tasks_[i]->state != Task::State::kFinished) {
+          all_done = false;
+          break;
+        }
+      }
+      if (all_done) break;
+      if (aborting_) return;
+      t.state = Task::State::kBlocked;
+      t.block = Task::Block::kJoin;
+      t.has_pending = false;
+      switch_to_controller();
+    }
+    tick(t);
+    for (unsigned i = 0; i < tasks_.size(); ++i) {
+      if (i != running_) vc_join(t.clock, tasks_[i]->clock);  // join edge
+    }
+  }
+
+  void require(bool condition, const std::string& message) {
+    if (condition || aborting_) return;
+    report_violation("invariant failed: " + message);
+  }
+
+  // ------------------------------------------------------- fiber internals
+
+  void fiber_main() {
+    Task& t = *tasks_[running_];
+    t.body();
+    // Per-fiber TLS destructors run here, inside scheduled execution —
+    // the thread-exit cache flush is itself model-checked.
+    while (!t.tls.empty()) {
+      TlsEntry e = t.tls.back();
+      t.tls.pop_back();
+      if (e.dtor != nullptr && e.value != nullptr) e.dtor(e.value);
+    }
+    t.state = Task::State::kFinished;
+    t.has_pending = false;
+    // Returning activates uc_link == the controller context.
+  }
+
+ private:
+  // ------------------------------------------------------------- schedule
+
+  bool run_one_schedule() {
+    ++generation_;
+    objects_.clear();
+    vars_.clear();
+    trace_.clear();
+    chosen_log_.clear();
+    release_tasks();
+    fence_clock_ = {};
+    store_epoch_ = 1;  // nonzero so fresh tasks (spin_epoch=0) re-check once
+    spin_recheck_epoch_ = 0;
+    vt_ = kVirtualBase;
+    violation_ = false;
+    aborting_ = false;
+    depth_ = 0;
+    cur_sleep_.clear();
+    prev_running_ = kNone;
+    preemptions_ = 0;
+    steps_this_ = 0;
+    replay_cursor_ = 0;
+    create_task([this] { cell_body_(); });
+    active_ = true;
+    bool pruned = false;
+
+    while (!violation_) {
+      bool all_finished = true;
+      for (const auto& t : tasks_) {
+        if (t->state != Task::State::kFinished) {
+          all_finished = false;
+          break;
+        }
+      }
+      if (all_finished) break;
+      if (steps_this_ > opts_.max_steps) {
+        report_violation("schedule exceeded " +
+                         std::to_string(opts_.max_steps) +
+                         " steps (livelock?)");
+        break;
+      }
+
+      std::vector<unsigned> runnable;
+      for (unsigned i = 0; i < tasks_.size(); ++i) {
+        if (tasks_[i]->state == Task::State::kRunnable) runnable.push_back(i);
+      }
+      if (runnable.empty()) {
+        handle_all_blocked();
+        if (violation_) break;
+        continue;
+      }
+
+      unsigned choice = kNone;
+      if (runnable.size() == 1) {
+        choice = runnable[0];
+        if (!replay_mode_ && in_sleep(choice)) {
+          pruned = true;
+          break;
+        }
+      } else if (replay_mode_) {
+        choice = next_forced(runnable);
+        if (violation_) break;
+        chosen_log_.push_back(choice);
+      } else {
+        const std::vector<unsigned> candidates =
+            candidate_order(runnable, cur_sleep_, prev_running_,
+                            preemptions_);
+        if (candidates.empty()) {
+          pruned = true;
+          break;
+        }
+        if (candidates.size() == 1) {
+          // Not a choice point: no node exists (or is created) here —
+          // node alignment during prefix re-execution depends on this
+          // being decided from candidates, exactly as on first
+          // execution, never from depth_.
+          choice = candidates[0];
+        } else if (depth_ < nodes_.size()) {
+          // Re-executing the prefix of a backtracked schedule: take the
+          // recorded branch and restore its accumulated sleep set
+          // (advance() added explored siblings to it).
+          Node& n = nodes_[depth_];
+          if (n.runnable != runnable) {
+            report_violation(
+                "internal error: nondeterministic re-execution (runnable "
+                "set diverged at depth " +
+                std::to_string(depth_) + ")");
+            break;
+          }
+          choice = n.chosen;
+          cur_sleep_ = n.sleep;
+          ++depth_;
+        } else {
+          Node n;
+          n.runnable = runnable;
+          n.sleep = cur_sleep_;
+          n.chosen = candidates[0];
+          n.prev_running = prev_running_;
+          n.preemptions = preemptions_;
+          nodes_.push_back(std::move(n));
+          choice = candidates[0];
+          ++depth_;
+        }
+        chosen_log_.push_back(choice);
+      }
+
+      filter_sleep_against(choice);
+      if (prev_running_ != kNone && choice != prev_running_ &&
+          tasks_[prev_running_]->state == Task::State::kRunnable) {
+        ++preemptions_;
+      }
+      step(choice);
+    }
+
+    active_ = false;
+    return !pruned;
+  }
+
+  // Backtrack to the next unexplored sibling; false when the tree is done.
+  bool advance() {
+    while (!nodes_.empty()) {
+      Node& n = nodes_.back();
+      n.sleep.push_back(n.chosen);
+      const std::vector<unsigned> candidates =
+          candidate_order(n.runnable, n.sleep, n.prev_running, n.preemptions);
+      if (!candidates.empty()) {
+        n.chosen = candidates[0];
+        return true;
+      }
+      nodes_.pop_back();
+    }
+    return false;
+  }
+
+  // Eligible choices in preference order (previously running thread
+  // first — depth-first into the fewest-context-switch schedule).
+  std::vector<unsigned> candidate_order(const std::vector<unsigned>& runnable,
+                                        const std::vector<unsigned>& sleep,
+                                        unsigned prev,
+                                        unsigned preemptions) const {
+    const bool prev_runnable =
+        prev != kNone &&
+        std::find(runnable.begin(), runnable.end(), prev) != runnable.end();
+    const bool bound_hit = opts_.preemption_bound != 0 &&
+                           preemptions >= opts_.preemption_bound &&
+                           prev_runnable;
+    std::vector<unsigned> out;
+    auto eligible = [&](unsigned c) {
+      if (std::find(sleep.begin(), sleep.end(), c) != sleep.end()) return false;
+      if (bound_hit && c != prev) return false;
+      return true;
+    };
+    if (prev_runnable && eligible(prev)) out.push_back(prev);
+    for (unsigned c : runnable) {
+      if (c != prev && eligible(c)) out.push_back(c);
+    }
+    return out;
+  }
+
+  bool in_sleep(unsigned tid) const {
+    return std::find(cur_sleep_.begin(), cur_sleep_.end(), tid) !=
+           cur_sleep_.end();
+  }
+
+  // Sleep-set maintenance: after choosing `choice`, a sleeping thread
+  // stays asleep only if its pending op is independent of the op about
+  // to execute.
+  void filter_sleep_against(unsigned choice) {
+    if (cur_sleep_.empty()) return;
+    const Task& c = *tasks_[choice];
+    cur_sleep_.erase(
+        std::remove_if(cur_sleep_.begin(), cur_sleep_.end(),
+                       [&](unsigned u) {
+                         return u == choice ||
+                                dependent(*tasks_[u], c);
+                       }),
+        cur_sleep_.end());
+  }
+
+  static bool dependent(const Task& a, const Task& b) {
+    // Unknown pending op (never announced yet): conservatively conflicts.
+    if (!a.has_pending || !b.has_pending) return true;
+    if (a.pending_kind == OpKind::kSpin || b.pending_kind == OpKind::kSpin) {
+      return false;  // a pure yield commutes with everything
+    }
+    if (a.pending_kind == OpKind::kFence || b.pending_kind == OpKind::kFence) {
+      return true;
+    }
+    return a.pending_obj == b.pending_obj &&
+           (a.pending_write || b.pending_write);
+  }
+
+  void handle_all_blocked() {
+    // Joiner whose children all finished?
+    for (unsigned i = 0; i < tasks_.size(); ++i) {
+      Task& t = *tasks_[i];
+      if (t.state != Task::State::kBlocked || t.block != Task::Block::kJoin) {
+        continue;
+      }
+      bool others_done = true;
+      for (unsigned j = 0; j < tasks_.size(); ++j) {
+        if (j != i && tasks_[j]->state != Task::State::kFinished) {
+          others_done = false;
+          break;
+        }
+      }
+      if (others_done) {
+        t.state = Task::State::kRunnable;
+        t.block = Task::Block::kNone;
+        return;
+      }
+    }
+    // Deadline-less spin-waiters get one more look whenever some store
+    // has landed since the last such round: the waiter's OWN next
+    // iteration may be the progress (a retry loop claiming a just-parked
+    // slot, a waker re-polling a plain flag), which blocking would lose.
+    // The epoch guard makes this terminate: a round that commits no
+    // store does not earn another one, and rounds that do store are
+    // bounded by the per-schedule step budget (reported as livelock).
+    if (store_epoch_ != spin_recheck_epoch_) {
+      bool woke = false;
+      for (auto& t : tasks_) {
+        if (t->state == Task::State::kBlocked &&
+            t->block == Task::Block::kSpin &&
+            t->block_deadline == kNoDeadlineNs) {
+          t->state = Task::State::kRunnable;
+          t->block = Task::Block::kNone;
+          woke = true;
+        }
+      }
+      if (woke) {
+        spin_recheck_epoch_ = store_epoch_;
+        return;
+      }
+    }
+    // Advance virtual time to the earliest deadline, if any.
+    std::uint64_t min_deadline = kNoDeadlineNs;
+    for (const auto& t : tasks_) {
+      if (t->state == Task::State::kBlocked &&
+          t->block == Task::Block::kSpin &&
+          t->block_deadline < min_deadline) {
+        min_deadline = t->block_deadline;
+      }
+    }
+    if (min_deadline != kNoDeadlineNs) {
+      if (min_deadline > vt_) vt_ = min_deadline;
+      for (auto& t : tasks_) {
+        if (t->state == Task::State::kBlocked &&
+            t->block == Task::Block::kSpin && t->block_deadline <= vt_) {
+          t->state = Task::State::kRunnable;
+          t->block = Task::Block::kNone;
+        }
+      }
+      return;
+    }
+    std::string who;
+    for (unsigned i = 0; i < tasks_.size(); ++i) {
+      if (tasks_[i]->state == Task::State::kBlocked) {
+        if (!who.empty()) who += ", ";
+        who += "T" + std::to_string(i) +
+               (tasks_[i]->block == Task::Block::kJoin ? "(join)" : "(spin)");
+      }
+    }
+    report_violation("deadlock: every live thread is blocked [" + who + "]");
+  }
+
+  void on_store_committed() {
+    ++store_epoch_;
+    // The storer's own writes never gate its own spin_yield: a spin
+    // loop re-checks its condition itself; only *other* threads' stores
+    // force an extra re-check round before blocking. Without this a
+    // waker whose retry loop takes a spinlock (stores) would never
+    // block, and the schedule that always picks it would spin forever.
+    tasks_[running_]->spin_epoch = store_epoch_;
+    for (auto& t : tasks_) {
+      if (t->state == Task::State::kBlocked &&
+          t->block == Task::Block::kSpin) {
+        t->state = Task::State::kRunnable;
+        t->block = Task::Block::kNone;
+      }
+    }
+  }
+
+  unsigned next_forced(const std::vector<unsigned>& runnable) {
+    unsigned choice;
+    if (replay_cursor_ < forced_.size()) {
+      choice = forced_[replay_cursor_++];
+      if (std::find(runnable.begin(), runnable.end(), choice) ==
+          runnable.end()) {
+        report_violation("stale replay seed: T" + std::to_string(choice) +
+                         " not runnable at choice " +
+                         std::to_string(replay_cursor_ - 1));
+        return kNone;
+      }
+      return choice;
+    }
+    // Seed exhausted: continue with the default policy.
+    const bool prev_runnable =
+        prev_running_ != kNone &&
+        std::find(runnable.begin(), runnable.end(), prev_running_) !=
+            runnable.end();
+    return prev_runnable ? prev_running_ : runnable[0];
+  }
+
+  bool parse_seed(const std::string& seed) {
+    forced_.clear();
+    unsigned value = 0;
+    bool have_digit = false;
+    for (char ch : seed) {
+      if (ch >= '0' && ch <= '9') {
+        value = value * 10 + static_cast<unsigned>(ch - '0');
+        have_digit = true;
+      } else if (ch == '.') {
+        if (!have_digit) return false;
+        forced_.push_back(value);
+        value = 0;
+        have_digit = false;
+      } else {
+        return false;
+      }
+    }
+    if (have_digit) forced_.push_back(value);
+    return !forced_.empty();
+  }
+
+  // ----------------------------------------------------------- execution
+
+  void step(unsigned tid) {
+    Task& t = *tasks_[tid];
+    running_ = tid;
+    ++steps_this_;
+    ++result_.steps;
+    if (!t.started) {
+      t.started = true;
+      getcontext(&t.ctx);
+      t.ctx.uc_stack.ss_sp = t.stack.get();
+      t.ctx.uc_stack.ss_size = kFiberStackBytes;
+      t.ctx.uc_link = &controller_ctx_;
+      makecontext(&t.ctx, &Engine::trampoline, 0);
+    }
+    swapcontext(&controller_ctx_, &t.ctx);
+    // Locals may be clobbered across swapcontext (it has setjmp-like
+    // semantics); running_ still holds the stepped tid — fibers never
+    // write it.
+    const unsigned stepped = running_;
+    running_ = kNone;
+    Task& stepped_task = *tasks_[stepped];
+    if (stepped_task.state == Task::State::kRunnable) {
+      prev_running_ = stepped;
+    } else {
+      prev_running_ = kNone;  // blocked or finished: free context switch
+    }
+  }
+
+  static void trampoline() { g_engine->fiber_main(); }
+
+  void switch_to_controller() {
+    Task& t = *tasks_[running_];
+    swapcontext(&t.ctx, &controller_ctx_);
+  }
+
+  Task& create_task(std::function<void()> body) {
+    auto task = std::make_unique<Task>();
+    if (!stack_pool_.empty()) {
+      task->stack = std::move(stack_pool_.back());
+      stack_pool_.pop_back();
+    } else {
+      task->stack = std::make_unique<char[]>(kFiberStackBytes);
+    }
+    task->body = std::move(body);
+    tasks_.push_back(std::move(task));
+    return *tasks_.back();
+  }
+
+  void release_tasks() {
+    for (auto& t : tasks_) {
+      stack_pool_.push_back(std::move(t->stack));
+    }
+    tasks_.clear();
+  }
+
+  // Only ever called on the currently running task.
+  void tick(Task& t) { ++t.clock[running_]; }
+
+  static std::uint32_t obj_index(Handle h) {
+    return static_cast<std::uint32_t>(h & 0xFFFFFFFFu) - 1;
+  }
+
+  // ------------------------------------------------------------ reporting
+
+  void report_race(const char* kind_a, unsigned tid_a, const char* kind_b,
+                   unsigned tid_b, Handle h) {
+    const VarState& s = vars_[obj_index(h)];
+    std::string tag = s.tag != nullptr
+                          ? std::string(s.tag)
+                          : "v" + std::to_string(obj_index(h));
+    report_violation("data race on '" + tag + "': T" + std::to_string(tid_a) +
+                     " " + kind_a + " is unordered with T" +
+                     std::to_string(tid_b) + " " + kind_b +
+                     " (happens-before from the declared memory orders "
+                     "does not cover it)");
+  }
+
+  void report_violation(const std::string& message) {
+    if (violation_) return;
+    violation_ = true;
+    aborting_ = true;
+    violation_message_ = message;
+    if (running_ != kNone) {
+      // Called from inside a fiber: hand control back for good. All
+      // unfinished fibers are abandoned (stacks freed, no unwinding).
+      switch_to_controller();
+    }
+  }
+
+  void finish_violation_report() {
+    if (!violation_) return;
+    result_.violation = true;
+    result_.violation_message = violation_message_;
+    result_.violation_seed = render_seed();
+    result_.violation_trace = render_trace();
+  }
+
+  std::string render_seed() const {
+    std::string out;
+    for (unsigned c : chosen_log_) {
+      if (!out.empty()) out += '.';
+      out += std::to_string(c);
+    }
+    return out;
+  }
+
+  std::string obj_label(const TraceStep& s) const {
+    if (s.kind == OpKind::kVarRead || s.kind == OpKind::kVarWrite) {
+      const VarState& v = vars_[s.obj];
+      return v.tag != nullptr ? std::string(v.tag)
+                              : "v" + std::to_string(s.obj);
+    }
+    if (s.obj == kNone) return "";
+    const ObjState& o = objects_[s.obj];
+    return o.tag != nullptr ? std::string(o.tag)
+                            : "a" + std::to_string(s.obj);
+  }
+
+  std::string render_trace() const {
+    std::ostringstream out;
+    const std::size_t total = trace_.size();
+    std::size_t first = 0;
+    if (total > kTracePrintCap) {
+      first = total - kTracePrintCap;
+      out << "  ... " << first << " earlier steps elided ...\n";
+    }
+    for (std::size_t i = first; i < total; ++i) {
+      const TraceStep& s = trace_[i];
+      char line[160];
+      const std::string label = obj_label(s);
+      switch (s.kind) {
+        case OpKind::kLoad:
+          std::snprintf(line, sizeof(line), "%5zu  T%u  load   %-18s %-3s = %llu",
+                        i, s.tid, label.c_str(), mo_name(s.mo),
+                        static_cast<unsigned long long>(s.a));
+          break;
+        case OpKind::kStore:
+          std::snprintf(line, sizeof(line), "%5zu  T%u  store  %-18s %-3s := %llu",
+                        i, s.tid, label.c_str(), mo_name(s.mo),
+                        static_cast<unsigned long long>(s.a));
+          break;
+        case OpKind::kRmw:
+          std::snprintf(line, sizeof(line),
+                        "%5zu  T%u  rmw    %-18s %-3s %llu -> %llu", i, s.tid,
+                        label.c_str(), mo_name(s.mo),
+                        static_cast<unsigned long long>(s.a),
+                        static_cast<unsigned long long>(s.b));
+          break;
+        case OpKind::kFence:
+          std::snprintf(line, sizeof(line), "%5zu  T%u  fence  %-18s %-3s", i,
+                        s.tid, "", mo_name(s.mo));
+          break;
+        case OpKind::kSpin:
+          if (s.a == kNoDeadlineNs) {
+            std::snprintf(line, sizeof(line), "%5zu  T%u  block  (spin-wait)",
+                          i, s.tid);
+          } else {
+            std::snprintf(line, sizeof(line),
+                          "%5zu  T%u  block  (spin-wait, deadline %llu ns)", i,
+                          s.tid, static_cast<unsigned long long>(s.a));
+          }
+          break;
+        case OpKind::kVarRead:
+          std::snprintf(line, sizeof(line), "%5zu  T%u  read   %-18s     = %llu",
+                        i, s.tid, label.c_str(),
+                        static_cast<unsigned long long>(s.a));
+          break;
+        case OpKind::kVarWrite:
+          std::snprintf(line, sizeof(line), "%5zu  T%u  write  %-18s     := %llu",
+                        i, s.tid, label.c_str(),
+                        static_cast<unsigned long long>(s.a));
+          break;
+      }
+      out << line << '\n';
+    }
+    return out.str();
+  }
+
+  // -------------------------------------------------------------- members
+
+  void (*cell_body_)();
+  ExploreOptions opts_;
+  ExploreResult result_;
+
+  std::vector<std::unique_ptr<Task>> tasks_;
+  std::vector<std::unique_ptr<char[]>> stack_pool_;
+  ucontext_t controller_ctx_{};
+  unsigned running_ = kNone;
+
+  std::vector<ObjState> objects_;
+  std::vector<VarState> vars_;
+  std::vector<TraceStep> trace_;
+  Clock fence_clock_{};
+  std::uint64_t store_epoch_ = 1;
+  // Epoch at the last all-blocked spin re-check round (see
+  // handle_all_blocked); equal to store_epoch_ means no store landed
+  // since, so another round cannot make progress.
+  std::uint64_t spin_recheck_epoch_ = 0;
+  std::uint64_t vt_ = kVirtualBase;
+  std::uint32_t generation_ = 0;
+  unsigned tls_key_source_ = 1;
+
+  std::vector<Node> nodes_;
+  std::vector<unsigned> cur_sleep_;
+  std::vector<unsigned> chosen_log_;
+  std::size_t depth_ = 0;
+  unsigned prev_running_ = kNone;
+  unsigned preemptions_ = 0;
+  std::uint64_t steps_this_ = 0;
+
+  bool active_ = false;
+  bool aborting_ = false;
+  bool violation_ = false;
+  std::string violation_message_;
+
+  bool replay_mode_ = false;
+  std::vector<unsigned> forced_;
+  std::size_t replay_cursor_ = 0;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------- hook glue
+
+bool engine_active() { return g_engine != nullptr && g_engine->active(); }
+
+Handle obj_handle(Handle cached, const char* tag) {
+  return g_engine->make_obj_handle(cached, tag);
+}
+
+Handle var_handle(Handle cached, const char* tag) {
+  return g_engine->make_var_handle(cached, tag);
+}
+
+void set_tag(Handle h, const char* tag) { g_engine->tag_obj(h, tag); }
+
+void yield_op(Handle h, OpKind kind, bool is_write) {
+  g_engine->yield_op(h, kind, is_write);
+}
+
+void commit_load(Handle h, std::memory_order mo, std::uint64_t v) {
+  g_engine->commit_load(h, mo, v);
+}
+
+void commit_store(Handle h, std::memory_order mo, std::uint64_t v) {
+  g_engine->commit_store(h, mo, v);
+}
+
+void commit_rmw(Handle h, std::memory_order mo, std::uint64_t before,
+                std::uint64_t after) {
+  g_engine->commit_rmw(h, mo, before, after);
+}
+
+void commit_fence(std::memory_order mo) { g_engine->commit_fence(mo); }
+
+void var_read(Handle h, std::uint64_t v) { g_engine->var_read(h, v); }
+
+void var_write(Handle h, std::uint64_t v) { g_engine->var_write(h, v); }
+
+void spin_yield(std::uint64_t deadline_ns) {
+  if (g_engine != nullptr) g_engine->spin_yield(deadline_ns);
+}
+
+std::uint64_t virtual_now_ns() {
+  return g_engine != nullptr ? g_engine->now_ns() : kVirtualBase;
+}
+
+unsigned current_thread_id() {
+  return g_engine != nullptr ? g_engine->running_tid() : 0;
+}
+
+unsigned tls_key() {
+  return g_engine != nullptr ? g_engine->new_tls_key() : 0;
+}
+
+void* tls_get(unsigned key) { return g_engine->tls_get(key); }
+
+void tls_set(unsigned key, void* p, void (*dtor)(void*)) {
+  g_engine->tls_set(key, p, dtor);
+}
+
+// ------------------------------------------------------------ cell surface
+
+void spawn(std::function<void()> body) { g_engine->spawn(std::move(body)); }
+
+void join_all() { g_engine->join_all(); }
+
+void require(bool condition, const std::string& message) {
+  g_engine->require(condition, message);
+}
+
+// ---------------------------------------------------------------- registry
+
+namespace {
+std::vector<Cell>& mutable_cells() {
+  static std::vector<Cell> cells;
+  return cells;
+}
+}  // namespace
+
+const std::vector<Cell>& cells() { return mutable_cells(); }
+
+void register_cell(const Cell& cell) { mutable_cells().push_back(cell); }
+
+ExploreResult explore(void (*body)(), const ExploreOptions& options) {
+  Engine engine(body, options);
+  g_engine = &engine;
+  ExploreResult result = engine.run();
+  g_engine = nullptr;
+  return result;
+}
+
+}  // namespace la::verify

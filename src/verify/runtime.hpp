@@ -1,0 +1,111 @@
+// The model-checker runtime API: what harness cells and the CLI see.
+//
+// A *cell* is a small closed concurrent program over the real library
+// code (built with -DLEVELARRAY_VERIFY, so every shared-word access is a
+// scheduler yield point — see atom.hpp). explore() enumerates its
+// interleavings with a DFS over scheduling choice points:
+//
+//   * sleep-set pruning (Godefroid): after exploring thread t at a
+//     choice point, t joins the sleep set; sibling branches skip any
+//     schedule that begins with an op independent of everything that
+//     distinguishes it — the classic stateless partial-order reduction.
+//     Dependency is computed from the *announced* pending op of each
+//     thread (same object + at least one write; fences conflict with
+//     everything; pure spin yields with nothing).
+//   * a bounded-preemption knob as the fallback for cells whose full
+//     tree is out of budget: --preemptions=K explores every schedule
+//     with at most K forced context switches (Musuvathi/Qadeer's
+//     empirical bug-depth argument).
+//
+// Execution is sequentially consistent (one fiber runs at a time; each
+// atomic op is one indivisible step). Weak-memory bugs are caught by a
+// separate mechanism: vector clocks track happens-before implied by the
+// *declared* memory orders, and verify::var accesses are checked
+// FastTrack-style against them — an ordering downgrade becomes a data
+// race on the data it was guarding, reported with the full schedule.
+//
+// Every schedule is replayable: the seed is the dot-joined list of the
+// thread chosen at each point where more than one was runnable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace la::verify {
+
+inline constexpr unsigned kMaxThreads = 8;
+
+struct ExploreOptions {
+  // Stop after this many executed schedules (0 = unlimited). Hitting the
+  // cap clears `complete` but is not a failure: the tree explored so far
+  // is still exhaustive over its prefix set.
+  std::uint64_t max_schedules = 20000;
+  // Per-schedule executed-op budget; exceeding it is reported as a
+  // violation (livelock suspicion — cooperative spin blocking should
+  // make unbounded same-state loops impossible).
+  std::uint64_t max_steps = 200000;
+  // Max forced preemptions per schedule (0 = unbounded / full search).
+  unsigned preemption_bound = 0;
+  // Non-empty: execute exactly this schedule (a seed printed by a
+  // violation report) instead of exploring, and print its full trace.
+  std::string replay_seed;
+};
+
+struct ExploreResult {
+  std::uint64_t schedules = 0;  // schedules fully executed
+  std::uint64_t pruned = 0;     // branches cut by the sleep set
+  std::uint64_t steps = 0;      // total atomic ops executed
+  std::uint64_t max_depth = 0;  // deepest backtrack stack seen
+  bool complete = false;        // whole tree explored within budget
+  bool violation = false;
+  std::string violation_message;
+  std::string violation_seed;
+  std::string violation_trace;  // rendered counterexample schedule
+};
+
+// ----------------------------------------------------------- cell surface
+// Callable only from inside a cell body running under explore().
+
+// Start a new model-checked thread (at most kMaxThreads - 1 spawns per
+// cell). The body runs as a cooperative fiber; thread ids are assigned
+// in spawn order starting at 1 (the cell body itself is thread 0).
+void spawn(std::function<void()> body);
+
+// Block until every spawned thread has finished, joining their clocks
+// (the fork/join happens-before edge the harnesses rely on).
+void join_all();
+
+// Assert a cell invariant. Failure aborts the schedule and reports the
+// counterexample exactly like a data race would.
+void require(bool condition, const std::string& message);
+
+// ------------------------------------------------------------ cell registry
+struct Cell {
+  const char* name;
+  const char* summary;
+  void (*body)();
+  // Mutant cells: exploration MUST find a violation (the harness-teeth
+  // check); the CLI inverts the exit code for these.
+  bool expects_violation = false;
+};
+
+const std::vector<Cell>& cells();
+void register_cell(const Cell& cell);
+
+struct CellRegistrar {
+  explicit CellRegistrar(const Cell& cell) { register_cell(cell); }
+};
+
+#define LA_VERIFY_CELL(ident, summary, ...)                            \
+  static void cell_body_##ident();                                     \
+  static const ::la::verify::CellRegistrar registrar_##ident{          \
+      ::la::verify::Cell{#ident, summary, &cell_body_##ident,          \
+                         ##__VA_ARGS__}};                              \
+  static void cell_body_##ident()
+
+// Run one cell body under the explorer. Not reentrant.
+ExploreResult explore(void (*body)(), const ExploreOptions& options);
+
+}  // namespace la::verify
