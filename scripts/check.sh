@@ -3,22 +3,24 @@
 # every tier runs in order:
 #   1. tier-1 build + full ctest (unit + stress + smoke labels)
 #   2. svc: the rename-service daemon with real forked client processes
-#   3. bench-smoke: the --json pipeline emits parseable, nonzero reports,
-#      and the committed scaling/batch/svc gates hold
-#   4. verify: the exhaustive interleaving model checker over the
+#   3. ckpt: checkpoint/restore and the live re-sharding migration
+#   4. bench-smoke: the --json pipeline emits parseable, nonzero reports,
+#      and the committed scaling/batch/svc/migrate gates hold
+#   5. verify: the exhaustive interleaving model checker over the
 #      lock-free core (src/verify/), every cell within its schedule
 #      budget, plus the mutant teeth checks
-#   5. lint: the static memory-order audit (scripts/atomics_lint.py
+#   6. lint: the static memory-order audit (scripts/atomics_lint.py
 #      against scripts/atomics_manifest.tsv) and, when clang-tidy is
 #      installed, the zero-warning .clang-tidy gate
-#   6. AddressSanitizer/UBSan preset, same suite
-#   7. ThreadSanitizer preset, the concurrency-bearing targets
+#   7. AddressSanitizer/UBSan preset, same suite
+#   8. ThreadSanitizer preset, the concurrency-bearing targets
 #
 # A single argument runs one tier against the tier-1 build:
 #   scripts/check.sh unit     # fast single-process tests only (ctest -L)
 #   scripts/check.sh stress   # real-thread suites
 #   scripts/check.sh smoke    # second-scale bench driver sweeps
 #   scripts/check.sh svc      # rename-service daemon, real processes
+#   scripts/check.sh ckpt     # checkpoint/restore + live migration
 #   scripts/check.sh verify   # model-check the lock-free core
 #   scripts/check.sh lint     # atomics manifest audit + clang-tidy
 #   scripts/check.sh bench-smoke | asan | tsan
@@ -70,6 +72,16 @@ run_bench_smoke() {
     --json=build/BENCH_svc.json > /dev/null
   python3 scripts/validate_bench_json.py --svc-gate=16 build/BENCH_svc.json
   python3 scripts/validate_bench_json.py --svc-gate=16 BENCH_svc.json
+  # Live re-sharding migration: churn throughput across a mid-run
+  # save/rebuild/restore swap, gated on the fresh run AND the committed
+  # snapshot. Regenerate with
+  #   migrate_churn --threads=4 --ops=60000 --batch=8 \
+  #     --json=BENCH_migrate.json
+  ./build/migrate_churn --threads=4 --ops=60000 --batch=8 \
+    --json=build/BENCH_migrate.json > /dev/null
+  python3 scripts/validate_bench_json.py --migrate-gate \
+    build/BENCH_migrate.json
+  python3 scripts/validate_bench_json.py --migrate-gate BENCH_migrate.json
 }
 
 run_svc() {
@@ -77,6 +89,14 @@ run_svc() {
   ./build/svc_churn --clients=4 --ops=100000 --batch=16 --kill-one
   ./build/test_svc_reclaim
   ./build/test_svc_failures
+}
+
+run_ckpt() {
+  echo "== ckpt: checkpoint/restore + live re-sharding migration =="
+  ./build/test_ckpt
+  # Live migration under churn: sharded:level (4 shards) swapped for
+  # sharded:linear (8 shards) mid-run, trace checked across the boundary.
+  ./build/migrate_churn --threads=4 --ops=20000 --batch=8
 }
 
 run_verify() {
@@ -124,7 +144,8 @@ run_tsan() {
   cmake --build build-tsan -j "${JOBS}" \
     --target test_stress_matrix test_renamer_contract test_collect_race \
              test_model_fuzz test_svc_ring test_backoff_park \
-             test_wait_queue test_deadlines stress_runner
+             test_wait_queue test_deadlines test_ckpt migrate_churn \
+             stress_runner
   # The svc ring + eventcount under TSan: the SPSC handshake and the
   # park/wake protocol are where a lost fence shows up. (The fork-based
   # svc suites stay out of TSan — it does not support multi-process.)
@@ -137,6 +158,11 @@ run_tsan() {
   ./build-tsan/test_renamer_contract
   ./build-tsan/test_collect_race
   ./build-tsan/test_model_fuzz --structure=sharded:level --seed=20260727
+  # Checkpoint/restore (sequential paths) and the live migration cell:
+  # worker quiesce, save/rebuild/restore, resume — all in-process
+  # threads, so TSan sees the whole handshake.
+  ./build-tsan/test_ckpt
+  ./build-tsan/migrate_churn --threads=4 --ops=10000 --batch=8
   ./build-tsan/test_stress_matrix
   ./build-tsan/stress_runner --structure=all --scenario=all --threads=8 \
     --ops=2000
@@ -153,6 +179,10 @@ case "${TIER}" in
   svc)
     build_tier1
     run_svc
+    ;;
+  ckpt)
+    build_tier1
+    run_ckpt
     ;;
   bench-smoke)
     build_tier1
@@ -175,6 +205,7 @@ case "${TIER}" in
     build_tier1
     (cd build && ctest --output-on-failure -j "${JOBS}")
     run_svc
+    run_ckpt
     run_bench_smoke
     run_verify
     run_lint
@@ -182,7 +213,7 @@ case "${TIER}" in
     run_tsan
     ;;
   *)
-    echo "usage: $0 [unit|stress|smoke|svc|bench-smoke|verify|lint|asan|tsan]" >&2
+    echo "usage: $0 [unit|stress|smoke|svc|ckpt|bench-smoke|verify|lint|asan|tsan]" >&2
     exit 2
     ;;
 esac

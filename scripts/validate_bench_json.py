@@ -4,7 +4,8 @@ bench-smoke tier (scripts/check.sh) and the CI bench-artifacts job run,
 so the schema contract cannot drift between the two copies.
 
 Usage: validate_bench_json.py [--scaling-gate=T] [--batch-gate=B]
-                              [--svc-gate=B] REPORT.json [...]
+                              [--svc-gate=B] [--migrate-gate]
+                              REPORT.json [...]
 Exits nonzero if any report fails to parse, misses the schema tag, has
 no runs, has a run without positive ops_per_sec, or carries a malformed
 optional batch field (must be an integer >= 1 when present).
@@ -26,6 +27,15 @@ sharded:level baseline in the same report. The wire protocol costs two
 ring hops and a server-side execution per exchange, so the floor is a
 sanity bound against pathological regressions (a deadlocking ring or a
 park storm shows up as orders of magnitude, not percent).
+
+--migrate-gate asserts the live re-sharding migration acceptance bar
+(the claim BENCH_migrate.json commits to): the report must carry a
+pre-migration run and a post-migration run, the migration must have
+carried a nonzero hold set across a measured nonzero pause with exactly
+zero invariant failures, and post-migration throughput must hold at
+least MIGRATE_RATIO_FLOOR of the pre-migration rate (the structure
+changed shape underneath the clients, so parity is not demanded — but a
+migration that wedges the service shows up as orders of magnitude).
 """
 import json
 import sys
@@ -34,6 +44,10 @@ BATCH_SPEEDUP_FLOOR = 1.5
 # Measured ~0.02-0.05x on the 1-core reference container at batch=16,
 # clients=4; the floor leaves ~4-10x headroom for load noise.
 SVC_RATIO_FLOOR = 0.005
+# Post-migration vs pre-migration throughput: measured ~0.7-1.1x on the
+# reference container (sharded:linear behind the same wire); the floor
+# only rules out a wedged or thrashing post-migration service.
+MIGRATE_RATIO_FLOOR = 0.05
 
 
 def run_batch(run: dict) -> int:
@@ -136,10 +150,46 @@ def check_svc_gate(path: str, doc: dict, batch: int) -> None:
           f"in-process baseline at batch={batch})")
 
 
+def check_migrate_gate(path: str, doc: dict) -> None:
+    pre = post = None
+    for run in doc["runs"]:
+        if run.get("mode") == "pre-migration":
+            pre = run
+        elif run.get("mode") == "post-migration":
+            post = run
+    assert pre is not None and post is not None, (
+        f"{path}: --migrate-gate needs a pre-migration and a "
+        f"post-migration run "
+        f"(have {sorted(r.get('mode') for r in doc['runs'])})")
+    carried = post.get("names_migrated", 0)
+    assert isinstance(carried, int) and carried > 0, (
+        f"{path}: migration carried no names (names_migrated "
+        f"{carried!r}) — the run never held state across the boundary")
+    pause = post.get("migrate_pause_ns", 0)
+    assert isinstance(pause, int) and pause > 0, (
+        f"{path}: migrate_pause_ns {pause!r} — the pause was not measured")
+    migrations = post.get("migrations", 0)
+    assert migrations == 1, (
+        f"{path}: expected exactly 1 migration, report carries "
+        f"{migrations!r}")
+    bad = post.get("invariant_failures", None)
+    assert bad == 0, (
+        f"{path}: invariant_failures {bad!r} — the migration-spanning "
+        f"trace must replay with zero violations")
+    ratio = post["ops_per_sec"] / pre["ops_per_sec"]
+    assert ratio >= MIGRATE_RATIO_FLOOR, (
+        f"{path}: post-migration throughput is only {ratio:.4f}x "
+        f"pre-migration ({post['ops_per_sec']:.0f} vs "
+        f"{pre['ops_per_sec']:.0f} ops/s; floor {MIGRATE_RATIO_FLOOR}x)")
+    print(f"{path}: migrate gate ok ({carried} name(s) carried, "
+          f"{pause / 1e6:.3f}ms pause, post {ratio:.2f}x pre)")
+
+
 if __name__ == "__main__":
     gate = None
     batch_gate = None
     svc_gate = None
+    migrate_gate = False
     reports = []
     for arg in sys.argv[1:]:
         if arg.startswith("--scaling-gate="):
@@ -148,6 +198,8 @@ if __name__ == "__main__":
             batch_gate = int(arg.split("=", 1)[1])
         elif arg.startswith("--svc-gate="):
             svc_gate = int(arg.split("=", 1)[1])
+        elif arg == "--migrate-gate":
+            migrate_gate = True
         elif arg.startswith("--"):
             sys.exit(f"unknown flag {arg}\n\n{__doc__}")
         else:
@@ -162,3 +214,5 @@ if __name__ == "__main__":
             check_batch_gate(report, parsed, batch_gate)
         if svc_gate is not None:
             check_svc_gate(report, parsed, svc_gate)
+        if migrate_gate:
+            check_migrate_gate(report, parsed)

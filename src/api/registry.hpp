@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "api/renamer.hpp"
+#include "api/snapshot.hpp"
 #include "api/splitter_renamer.hpp"
 #include "arrays/bitmap_array.hpp"
 #include "arrays/id_array.hpp"
@@ -297,6 +298,26 @@ static_assert(
         svc::ServiceRenamer<scale::ShardedRenamer<core::LevelArray>>>);
 static_assert(
     !has_batch_occupancy_v<
+        svc::ServiceRenamer<scale::ShardedRenamer<core::LevelArray>>>);
+// Checkpoint/restore (src/api/snapshot.hpp): the core, every flat array,
+// and the sharded wrapper over adoptable inners can save *and* restore.
+// SplitterRenamer has no adoption path (a fresh grid walk would re-issue
+// adopted cells), so it — and sharded:splitter, via the SFINAE gate on
+// ShardedRenamer::adopt_held — is save-only; svc clients snapshot on
+// the server side, not over the wire.
+static_assert(has_snapshot_v<core::LevelArray>);
+static_assert(has_snapshot_v<arrays::RandomArray>);
+static_assert(has_snapshot_v<arrays::LinearProbingArray>);
+static_assert(has_snapshot_v<arrays::SequentialScanArray>);
+static_assert(has_snapshot_v<arrays::BitmapActivityArray>);
+static_assert(has_snapshot_v<arrays::IdIndexedArray>);
+static_assert(has_snapshot_v<scale::ShardedRenamer<core::LevelArray>>);
+static_assert(has_snapshot_v<scale::ShardedRenamer<arrays::LinearProbingArray>>);
+static_assert(!has_adopt_held_v<SplitterRenamer>);
+static_assert(!has_snapshot_v<SplitterRenamer>);
+static_assert(!has_snapshot_v<scale::ShardedRenamer<SplitterRenamer>>);
+static_assert(
+    !has_snapshot_v<
         svc::ServiceRenamer<scale::ShardedRenamer<core::LevelArray>>>);
 
 // The callable's result type must not depend on the structure; anchor the

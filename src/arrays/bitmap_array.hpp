@@ -68,6 +68,23 @@ class BitmapActivityArray {
   std::uint64_t total_slots() const { return total_slots_; }
   std::uint64_t capacity() const { return capacity_; }
 
+  // Checkpoint adoption (src/api/snapshot.hpp): set one bit on restore,
+  // keeping the name's numeric identity. Same acquire edge as get()'s
+  // winning fetch_or; a bit already set means a duplicate name in the
+  // image.
+  void adopt_held(std::uint64_t name) {
+    if (name >= total_slots_) {
+      throw std::out_of_range(
+          "BitmapActivityArray::adopt_held: name out of range");
+    }
+    const std::uint64_t mask = std::uint64_t{1} << (name & 63);
+    if (words_[name >> 6].fetch_or(mask, std::memory_order_acquire) & mask) {
+      throw std::logic_error(
+          "BitmapActivityArray::adopt_held: slot already held "
+          "(duplicate name)");
+    }
+  }
+
  private:
   std::uint64_t total_slots_;
   std::uint64_t capacity_;

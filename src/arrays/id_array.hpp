@@ -85,6 +85,19 @@ class IdIndexedArray {
   std::uint64_t total_slots() const { return cells_.size(); }
   std::uint64_t capacity() const { return capacity_; }
 
+  // Checkpoint adoption (src/api/snapshot.hpp): re-register one id on
+  // restore, keeping the name's numeric identity.
+  void adopt_held(std::uint64_t name) {
+    if (name >= cells_.size()) {
+      throw std::out_of_range("IdIndexedArray::adopt_held: name out of range");
+    }
+    if (!cells_[name].try_acquire()) {
+      throw std::logic_error(
+          "IdIndexedArray::adopt_held: id already registered "
+          "(duplicate name)");
+    }
+  }
+
  private:
   std::vector<sync::TasCell> cells_;
   std::uint64_t capacity_;

@@ -60,6 +60,18 @@ class RandomArray {
   std::uint64_t total_slots() const { return slots_.size(); }
   std::uint64_t capacity() const { return capacity_; }
 
+  // Checkpoint adoption (src/api/snapshot.hpp): re-seed one held slot on
+  // restore, keeping the name's numeric identity.
+  void adopt_held(std::uint64_t name) {
+    if (name >= slots_.size()) {
+      throw std::out_of_range("RandomArray::adopt_held: name out of range");
+    }
+    if (!slots_[name].try_acquire()) {
+      throw std::logic_error(
+          "RandomArray::adopt_held: slot already held (duplicate name)");
+    }
+  }
+
  private:
   std::uint64_t capacity_;
   std::vector<sync::TasCell> slots_;

@@ -1,0 +1,141 @@
+#include "ckpt/image.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace la::ckpt {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'L', 'A', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr std::size_t kHeaderBytes = 56;  // fixed prefix before the tag
+constexpr std::size_t kCrcBytes = 4;
+// Decode-time sanity bounds: a held count or tag length beyond these is
+// a corrupt length field, not a real image (the largest structure in
+// this repo is millions of slots, not 2^56).
+constexpr std::uint64_t kMaxHeld = std::uint64_t{1} << 40;
+constexpr std::uint32_t kMaxTag = 4096;
+
+std::uint32_t crc_table_entry(std::uint32_t i) {
+  std::uint32_t c = i;
+  for (int bit = 0; bit < 8; ++bit)
+    c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+  return c;
+}
+
+struct CrcTable {
+  std::uint32_t entries[256];
+  CrcTable() {
+    for (std::uint32_t i = 0; i < 256; ++i) entries[i] = crc_table_entry(i);
+  }
+};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* bytes, std::size_t size) {
+  static const CrcTable table;
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table.entries[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> Image::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + structure.size() + 8 * held.size() + kCrcBytes);
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  put_u32(out, version);
+  put_u32(out, static_cast<std::uint32_t>(structure.size()));
+  put_u64(out, capacity);
+  put_u64(out, total_slots);
+  put_u32(out, shards);
+  put_u32(out, 0);  // reserved
+  put_u64(out, shard_stride);
+  put_u64(out, held.size());
+  for (const char c : structure) out.push_back(static_cast<std::uint8_t>(c));
+  for (std::uint64_t name : held) put_u64(out, name);
+  put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+Image Image::decode(const std::uint8_t* bytes, std::size_t size) {
+  if (size < kHeaderBytes + kCrcBytes)
+    throw ImageError("ckpt: image truncated (" + std::to_string(size) +
+                     " bytes, header needs " +
+                     std::to_string(kHeaderBytes + kCrcBytes) + ")");
+  if (std::memcmp(bytes, kMagic.data(), kMagic.size()) != 0)
+    throw ImageError("ckpt: bad magic (not a LACKPT01 image)");
+
+  Image img;
+  img.version = get_u32(bytes + 8);
+  if (img.version != kImageVersion)
+    throw ImageError("ckpt: unsupported image version " +
+                     std::to_string(img.version));
+  const std::uint32_t tag_len = get_u32(bytes + 12);
+  img.capacity = get_u64(bytes + 16);
+  img.total_slots = get_u64(bytes + 24);
+  img.shards = get_u32(bytes + 32);
+  if (get_u32(bytes + 36) != 0)
+    throw ImageError("ckpt: nonzero reserved field");
+  img.shard_stride = get_u64(bytes + 40);
+  const std::uint64_t held_count = get_u64(bytes + 48);
+
+  if (tag_len > kMaxTag)
+    throw ImageError("ckpt: structure tag length " + std::to_string(tag_len) +
+                     " exceeds bound");
+  if (held_count > kMaxHeld)
+    throw ImageError("ckpt: held count " + std::to_string(held_count) +
+                     " exceeds bound");
+  const std::size_t body = kHeaderBytes + tag_len +
+                           static_cast<std::size_t>(8 * held_count);
+  if (size != body + kCrcBytes)
+    throw ImageError("ckpt: image size " + std::to_string(size) +
+                     " does not match declared contents (" +
+                     std::to_string(body + kCrcBytes) + ")");
+  const std::uint32_t declared = get_u32(bytes + body);
+  const std::uint32_t actual = crc32(bytes, body);
+  if (declared != actual)
+    throw ImageError("ckpt: CRC mismatch (stored " + std::to_string(declared) +
+                     ", computed " + std::to_string(actual) + ")");
+
+  img.structure.assign(reinterpret_cast<const char*>(bytes) + kHeaderBytes,
+                       tag_len);
+  img.held.reserve(static_cast<std::size_t>(held_count));
+  const std::uint8_t* names = bytes + kHeaderBytes + tag_len;
+  for (std::uint64_t i = 0; i < held_count; ++i) {
+    const std::uint64_t name = get_u64(names + 8 * i);
+    if (!img.held.empty() && name <= img.held.back())
+      throw ImageError("ckpt: held names not strictly increasing at index " +
+                       std::to_string(i) + " (duplicate or unsorted)");
+    if (name >= img.total_slots)
+      throw ImageError("ckpt: held name " + std::to_string(name) +
+                       " outside source total_slots " +
+                       std::to_string(img.total_slots));
+    img.held.push_back(name);
+  }
+  if (held_count > img.capacity)
+    throw ImageError("ckpt: held count " + std::to_string(held_count) +
+                     " exceeds source capacity " + std::to_string(img.capacity));
+  return img;
+}
+
+}  // namespace la::ckpt

@@ -1,0 +1,79 @@
+// ckpt::Image — the versioned snapshot image behind checkpoint/restore
+// and live re-sharding migration (see README "Checkpoint & migration").
+//
+// An image is the *logical* state of a renaming structure: its geometry
+// (capacity, total_slots, shard layout when sharded) plus the exact set
+// of held names, captured via the word-scan collect. It deliberately
+// carries nothing physical — no cache bins, no gate counters, no inner
+// slot addresses — so a `sharded:level` image can restore into a
+// `sharded:linear` instance with a different shard count: the restore
+// path re-routes every name to its new home shard and reseeds gates
+// from scratch (src/api/snapshot.hpp).
+//
+// Wire format (little-endian, CRC32 over everything before the CRC):
+//
+//   offset  size  field
+//   0       8     magic "LACKPT01"
+//   8       4     version (currently 1)
+//   12      4     structure tag length T
+//   16      8     capacity
+//   24      8     total_slots
+//   32      4     shards        (0 = flat structure)
+//   36      4     reserved      (must be 0)
+//   40      8     shard_stride  (0 = flat structure)
+//   48      8     held count N
+//   56      T     structure tag bytes (registry key, e.g. "sharded:level")
+//   56+T    8*N   held names, strictly increasing
+//   56+T+8N 4     CRC32 of bytes [0, 56+T+8N)
+//
+// decode() throws ckpt::ImageError (never UB) on any malformation:
+// truncation, bad magic, unknown version, CRC mismatch, out-of-range or
+// duplicate held names, geometry that cannot contain its own held set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace la::ckpt {
+
+inline constexpr std::uint32_t kImageVersion = 1;
+
+// Every malformed-image condition surfaces as this typed error; restore
+// paths also throw it for images whose geometry cannot be adopted by
+// the target (stride shrink, capacity overflow).
+class ImageError : public std::runtime_error {
+ public:
+  explicit ImageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Image {
+  std::uint32_t version = kImageVersion;
+  // Registry key of the source structure ("level", "sharded:linear", ...).
+  // Informational: restore() targets any adoptable structure.
+  std::string structure;
+  std::uint64_t capacity = 0;
+  std::uint64_t total_slots = 0;
+  // Shard geometry of the source; 0/0 for flat structures. Restore into
+  // a sharded target only needs the *names* to route (the target's own
+  // stride decomposes them), but the source geometry documents what the
+  // names meant and lets validation reject impossible images early.
+  std::uint32_t shards = 0;
+  std::uint64_t shard_stride = 0;
+  // Strictly increasing held names (global encoding for sharded sources).
+  std::vector<std::uint64_t> held;
+
+  std::vector<std::uint8_t> encode() const;
+  static Image decode(const std::uint8_t* bytes, std::size_t size);
+  static Image decode(const std::vector<std::uint8_t>& bytes) {
+    return decode(bytes.data(), bytes.size());
+  }
+};
+
+// CRC32 (IEEE, reflected) — the image checksum. Exposed for tests that
+// corrupt images bit by bit.
+std::uint32_t crc32(const std::uint8_t* bytes, std::size_t size);
+
+}  // namespace la::ckpt

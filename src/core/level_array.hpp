@@ -258,6 +258,22 @@ class LevelArray {
     return names;
   }
 
+  // Checkpoint adoption (src/api/snapshot.hpp): force the named slot into
+  // the held state on a freshly built instance so a restored image's names
+  // keep their numeric identity. Restore-time callers run single-threaded,
+  // but try_acquire (not mark_held) keeps the claim edge so a duplicate
+  // name in a corrupt image fails loudly instead of silently double-
+  // marking one slot.
+  void adopt_held(std::uint64_t name) {
+    if (name >= slots_.size()) {
+      throw std::out_of_range("LevelArray::adopt_held: name out of range");
+    }
+    if (!slots_[name].try_acquire()) {
+      throw std::logic_error(
+          "LevelArray::adopt_held: slot already held (duplicate name)");
+    }
+  }
+
  private:
   static std::uint64_t slot_count(const LevelArrayConfig& config) {
     return scaled_slots(config.size_multiplier, config.capacity);

@@ -104,7 +104,12 @@ struct ShardedStats {
   std::uint64_t parked_frees = 0;    // Frees parked locally
   std::uint64_t direct_frees = 0;    // Frees released straight to a shard
   std::uint64_t shard_refusals = 0;  // overflow probes past a full shard
-  std::uint64_t cache_drains = 0;    // full drains (collect / global miss)
+  std::uint64_t cache_drains = 0;    // drains for capacity (global miss,
+                                     // exit flush, explicit drain_caches)
+  std::uint64_t collect_drains = 0;  // drains forced by collect()'s
+                                     // exactness requirement — separated
+                                     // so drain-*pressure* metrics are
+                                     // not inflated by observers
 };
 
 namespace detail {
@@ -397,9 +402,28 @@ class ShardedRenamer {
 
   // Logically held names: drains every cache first (so the shards' own
   // state agrees with the logical state at the audit point), then
-  // word-scans the dense held-bitmap.
+  // word-scans the dense held-bitmap. The drain is deliberate — it is
+  // what makes the scan *exact* against the shards at quiescence — but
+  // it perturbs the structure (destroys cache locality for every
+  // thread), so observability paths that only need the logical hold set
+  // must use peek_held() instead. Collect-forced drains are counted in
+  // ShardedStats::collect_drains, not cache_drains, so the
+  // drain-pressure metric still measures capacity pressure alone.
   std::size_t collect(std::vector<std::uint64_t>& out) const {
-    drain_caches();
+    drain_bins(bins_.data(), bins_.size());
+    collect_drains_.fetch_add(1, std::memory_order_relaxed);
+    notify_bulk_release();
+    return peek_held(out);
+  }
+
+  // Non-perturbing hold-set scan: the dense held-bitmap alone, no cache
+  // drain. This is still *exact* for logical holds — free() clears the
+  // held bit before parking the name, so a parked (logically free) name
+  // never appears here — but unlike collect() it leaves the shards' own
+  // occupancy out of sync with the logical state (parked names stay
+  // acquired inside their shard). Monitoring, stats, and snapshot
+  // paths that tolerate racy-snapshot semantics use this.
+  std::size_t peek_held(std::vector<std::uint64_t>& out) const {
     std::size_t found = 0;
     core::slot_scan::for_each_held(held_.data(), held_.size(),
                                    [&](std::uint64_t name) {
@@ -459,7 +483,49 @@ class ShardedRenamer {
           padded->refusals.load(std::memory_order_relaxed);
     }
     totals.cache_drains = drains_.load(std::memory_order_relaxed);
+    totals.collect_drains = collect_drains_.load(std::memory_order_relaxed);
     return totals;
+  }
+
+  // Checkpoint adoption (src/api/snapshot.hpp): re-seed one held name on
+  // restore, decomposing the *global* name by this instance's stride —
+  // which is how a restored image re-routes names into a different shard
+  // count: the same numeric name lands in its new home shard. Reserves
+  // the shard's gate (length_error past the bound — the image does not
+  // fit this configuration), marks the logical held bit (logic_error on
+  // a duplicate), and adopts the local slot inside the inner structure,
+  // unwinding both on an inner throw. Available only when the Inner can
+  // adopt (SFINAE on Inner::adopt_held — SplitterRenamer cannot, so
+  // sharded:splitter is non-restorable by construction).
+  template <typename I = Inner>
+  auto adopt_held(std::uint64_t name) -> std::void_t<
+      decltype(std::declval<I&>().adopt_held(std::uint64_t{}))> {
+    const auto s = static_cast<std::size_t>(name >> stride_shift_);
+    if (name >= total_slots_ || (name & (stride_ - 1)) >= local_bounds_[s]) {
+      throw std::out_of_range(
+          "ShardedRenamer::adopt_held: name does not route to any shard "
+          "slot in this configuration");
+    }
+    if (!held_[name].try_acquire()) {
+      throw std::logic_error(
+          "ShardedRenamer::adopt_held: name already held (duplicate name)");
+    }
+    detail::ShardCounters& count = *counts_[s];
+    if (count.occupancy.fetch_add(1, std::memory_order_relaxed) >=
+        gates_[s]) {
+      count.occupancy.fetch_sub(1, std::memory_order_relaxed);
+      held_[name].release();
+      throw std::length_error(
+          "ShardedRenamer::adopt_held: shard gate at capacity (image does "
+          "not fit this configuration)");
+    }
+    try {
+      shards_[s]->adopt_held(name & (stride_ - 1));
+    } catch (...) {
+      count.occupancy.fetch_sub(1, std::memory_order_relaxed);
+      held_[name].release();
+      throw;
+    }
   }
 
  private:
@@ -857,6 +923,7 @@ class ShardedRenamer {
   std::size_t claimed_ = 0;
   std::shared_ptr<CacheControl> control_;
   mutable la::detail::atomic<std::uint64_t> drains_{0};
+  mutable la::detail::atomic<std::uint64_t> collect_drains_{0};
   // The blocking tier (see get_for_impl): every release path notifies,
   // refused getters park. Internal waiters use the ticketed FIFO
   // wait_queue_ (wake-one + handoff bounds starvation by queue

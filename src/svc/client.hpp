@@ -250,9 +250,30 @@ class Client {
     sync::Backoff backoff;
     RequestSlot* slot;
     while ((slot = ring.try_begin_push(pos)) == nullptr) {
-      // Full only if ring_depth fire-and-forget detaches are stacked up;
-      // the server drains them, so spinning briefly is enough.
+      // A full request ring normally clears in microseconds (the server
+      // drains it), so spinning briefly is the fast path. But "briefly"
+      // is unbounded if the server is gone: a multi-exchange stream
+      // (collect's chunked drain) can re-enter here after the server
+      // died between chunks, and a loop with no liveness probe wedges
+      // forever. Same escalation as await_response: once the spin/yield
+      // tiers are exhausted, probe shutdown and the published server
+      // pid, then keep spinning.
       wait_rounds_.fetch_add(1, std::memory_order_relaxed);
+      if (backoff.should_park()) {
+        if (seg_.header().shutdown.load(std::memory_order_acquire) != 0) {
+          throw std::runtime_error(
+              "svc::Client: server shut down mid-request");
+        }
+        const std::uint32_t server =
+            seg_.header().server_pid.load(std::memory_order_acquire);
+        if (server != 0 && !pid_alive(server)) {
+          throw std::runtime_error(
+              "svc::Client: server process died mid-request (request ring "
+              "full and server pid " +
+              std::to_string(server) + " is gone)");
+        }
+        backoff.reset();
+      }
       backoff.pause();
     }
     slot->pid = pid_;

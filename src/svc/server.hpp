@@ -68,6 +68,7 @@ struct ServerStats {
   std::uint64_t reclaims = 0;        // dead clients swept
   std::uint64_t reclaimed_names = 0; // names recovered from dead clients
   std::uint64_t detaches = 0;
+  std::uint64_t migrations = 0;      // drain-and-migrate cycles completed
 };
 
 template <typename Structure>
@@ -128,6 +129,55 @@ class Server {
     }
   }
 
+  // Drain-and-migrate: quiesce every worker at its loop top (rings and
+  // pending lists are *parked*, not dropped — a request pushed during
+  // the pause is drained right after it), run fn(structure_) with
+  // exclusive access to the structure, republish the possibly changed
+  // geometry, and resume. fn is where the caller swaps shape — e.g.
+  // save() the current impl, rebuild a differently configured one,
+  // restore(), and ckpt::AnyRenamer::replace() — and the api::restore
+  // name-identity contract is what keeps the per-pid held bitmaps and
+  // every client's outstanding names valid across the swap. Clients
+  // observe only latency: a worker already blocked in respond() to a
+  // live client finishes that push before it reaches the checkpoint.
+  // Call from one coordinating thread; not concurrent with stop().
+  template <typename Fn>
+  void migrate(Fn&& fn) {
+    if (threads_.empty()) {
+      // Not started: the caller owns the structure outright.
+      fn(structure_);
+      return;
+    }
+    const std::uint64_t target =
+        migrate_checkins_.load(std::memory_order_acquire) + workers_;
+    migrating_.store(1, std::memory_order_release);
+    seg_.header().doorbell.signal();
+    sync::Backoff backoff;
+    while (migrate_checkins_.load(std::memory_order_acquire) < target &&
+           !seg_.header().shutdown.load(std::memory_order_acquire)) {
+      backoff.pause();
+    }
+    fn(structure_);
+    Header& h = seg_.header();
+    h.capacity.store(structure_.capacity(), std::memory_order_relaxed);
+    h.total_slots.store(structure_.total_slots(), std::memory_order_relaxed);
+    {
+      // The held bitmaps are indexed by name; a grown name space needs
+      // wider words. Never shrunk — adopted names already fit by the
+      // restore contract, and stale high words are simply zero.
+      sync::SpinLockGuard guard(holds_lock_);
+      const std::uint64_t words = (structure_.total_slots() + 63) / 64;
+      if (words > hold_words_) hold_words_ = words;
+      for (auto& held : holds_) {
+        if (held.words.size() < hold_words_) {
+          held.words.resize(static_cast<std::size_t>(hold_words_));
+        }
+      }
+    }
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+    migrating_.store(0, std::memory_order_release);
+  }
+
   ServerStats stats() const {
     ServerStats s;
     s.requests = requests_.load(std::memory_order_relaxed);
@@ -139,6 +189,7 @@ class Server {
     s.reclaims = reclaims_.load(std::memory_order_relaxed);
     s.reclaimed_names = reclaimed_names_.load(std::memory_order_relaxed);
     s.detaches = detaches_.load(std::memory_order_relaxed);
+    s.migrations = migrations_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -523,6 +574,21 @@ class Server {
     try {
       for (;;) {
         bool released = false;
+        if (migrating_.load(std::memory_order_acquire)) {
+          // Migration checkpoint: check in once, then hold at the loop
+          // top — no ring is mid-drain, no response is mid-push — until
+          // the coordinator swaps the structure and releases us. The
+          // pending list is parked untouched; `released` below retries
+          // it against the new shape (a migration usually grows
+          // capacity, so parked GetKs may now be grantable).
+          migrate_checkins_.fetch_add(1, std::memory_order_release);
+          sync::Backoff migrate_backoff;
+          while (migrating_.load(std::memory_order_acquire) &&
+                 !h.shutdown.load(std::memory_order_acquire)) {
+            migrate_backoff.pause();
+          }
+          released = true;
+        }
         std::size_t processed = 0;
         for (std::uint32_t r = wid; r < seg_.config().max_clients;
              r += workers_) {
@@ -558,7 +624,11 @@ class Server {
             break;
           }
         }
-        if (nonempty || h.shutdown.load(std::memory_order_acquire)) {
+        if (nonempty || h.shutdown.load(std::memory_order_acquire) ||
+            migrating_.load(std::memory_order_acquire)) {
+          // (migrating_ here keeps a worker that raced past the
+          // coordinator's doorbell signal from sleeping out the whole
+          // heartbeat while the migration waits on its checkin.)
           h.doorbell.cancel_wait();
           continue;
         }
@@ -607,6 +677,9 @@ class Server {
 
   std::atomic<std::uint64_t> sweep_epoch_{0};
   std::atomic<std::uint64_t> sweeps_done_{0};
+  std::atomic<std::uint32_t> migrating_{0};
+  std::atomic<std::uint64_t> migrate_checkins_{0};
+  std::atomic<std::uint64_t> migrations_{0};
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> granted_{0};
   std::atomic<std::uint64_t> freed_{0};

@@ -16,6 +16,11 @@
 // with its partial-refusal refund, and whole-bin parking all race the
 // scanner's collect()/drain_caches() steals.
 //
+// A fourth section pins the snapshot surfaces: the scanner alternates
+// api::save() (a draining collect into a ckpt::Image) with the
+// non-perturbing peek_held() while churn runs — the racy-snapshot reads
+// behind checkpointing, under instrumentation.
+//
 // Assertions are racy-snapshot-shaped (a concurrent scan may see any
 // interleaving — a non-atomic scan can even count a couple more slots
 // than the instantaneous holds): every collected name in range, counts
@@ -28,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include "api/snapshot.hpp"
+#include "ckpt/image.hpp"
 #include "core/level_array.hpp"
 #include "rng/rng.hpp"
 #include "scale/sharded.hpp"
@@ -322,6 +329,35 @@ int main() {
         });
     run_batch_race(array, kCapacity, kWorkers, kOps,
                    "sharded:level/batch-churn-vs-collect-drain");
+  }
+
+  // Snapshot surfaces racing churn: api::save's draining collect and the
+  // non-perturbing peek_held word scan, alternated while Get/Free runs —
+  // exactly what a live checkpoint reads. Exactness is only claimed at
+  // quiescence (run_race's final audit); mid-churn both are bounded racy
+  // snapshots.
+  {
+    scale::ShardedConfig config;
+    config.shards = 4;
+    config.cache_capacity = 16;
+    scale::ShardedRenamer<core::LevelArray> array(
+        config, [](std::uint32_t) {
+          core::LevelArrayConfig inner;
+          inner.capacity = kCapacity / 4;
+          return std::make_unique<core::LevelArray>(inner);
+        });
+    run_race(array, kCapacity, kWorkers, kOps,
+             "sharded:level/snapshot-vs-churn",
+             [](scale::ShardedRenamer<core::LevelArray>& a,
+                std::vector<std::uint64_t>& out) -> std::size_t {
+               static int which = 0;
+               if (which++ % 2 == 0) {
+                 const ckpt::Image image = api::save(a, "sharded:level");
+                 out.assign(image.held.begin(), image.held.end());
+                 return out.size();
+               }
+               return a.peek_held(out);
+             });
   }
 
   if (failures != 0) {

@@ -35,7 +35,9 @@
 #include <vector>
 
 #include "api/registry.hpp"
+#include "api/snapshot.hpp"
 #include "bench_util/options.hpp"
+#include "ckpt/image.hpp"
 #include "rng/rng.hpp"
 #include "sync/spin_barrier.hpp"
 #include "sync/thread_utils.hpp"
@@ -389,6 +391,119 @@ void fuzz_phased(Array& array, const FuzzCase& fuzz, std::uint32_t threads,
   }
 }
 
+// Random churn with model tracking, shared by the snapshot cycle's
+// prefix and suffix phases (a reduced op mix: single and batched
+// Get/Free — the full mix with probes/double-free checks is
+// fuzz_sequential's job).
+template <typename Array>
+void churn_with_model(Array& array, la::rng::MarsagliaXorshift& rng,
+                      std::set<std::uint64_t>& model,
+                      std::vector<std::uint64_t>& held, std::uint64_t steps,
+                      std::uint64_t capacity, const FuzzCase& fuzz,
+                      TraceTail& trace) {
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    const bool can_get = model.size() < capacity;
+    if (!held.empty() && (!can_get || la::rng::bounded(rng, 2) == 0)) {
+      const std::uint64_t victim = la::rng::bounded(rng, held.size());
+      const std::uint64_t name = held[victim];
+      array.free(name);
+      held[victim] = held.back();
+      held.pop_back();
+      model.erase(name);
+    } else if (can_get) {
+      std::size_t k = 1 + static_cast<std::size_t>(la::rng::bounded(rng, 4));
+      const std::uint64_t room = capacity - model.size();
+      if (k > room) k = static_cast<std::size_t>(room);
+      std::vector<la::GetResult> got(k);
+      std::size_t have = 0;
+      la::sync::Backoff backoff;
+      while (have < k) {
+        const std::size_t granted =
+            la::api::get_batch(array, rng, got.data() + have, k - have);
+        have += granted;
+        if (have < k && granted == 0) backoff.pause();
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        if (!model.insert(got[i].name).second) {
+          fail(fuzz, trace, "snapshot churn granted a duplicate name");
+          return;
+        }
+        held.push_back(got[i].name);
+      }
+    }
+  }
+}
+
+// The save -> restore -> replay cycle, for every structure with a
+// snapshot surface: random prefix churn, api::save, restore into a
+// re-drawn compatible configuration (shard count and capacity scaled by
+// the same random factor, so per-shard capacity — and thus the stride —
+// is preserved while the geometry changes), then suffix churn against
+// the restored instance carrying the prefix's hold set, and a final
+// drain audit. Names keep their identity across the cycle, so the same
+// model set validates both sides of the boundary.
+void run_snapshot_cycle(const FuzzCase& fuzz) {
+  la::api::RenamerConfig config;
+  config.capacity = fuzz.capacity;
+  TraceTail trace;
+  la::api::visit(fuzz.structure, config, [&](auto& source) {
+    using Source = std::decay_t<decltype(source)>;
+    if constexpr (la::api::has_snapshot_v<Source>) {
+      la::rng::MarsagliaXorshift rng(la::rng::mix_seed(fuzz.seed, 0xC4C7));
+      std::set<std::uint64_t> model;
+      std::vector<std::uint64_t> held;
+      trace.note("snapshot prefix churn");
+      churn_with_model(source, rng, model, held, fuzz.steps / 2,
+                       fuzz.capacity, fuzz, trace);
+
+      trace.note("save");
+      const la::ckpt::Image image = la::api::save(source, fuzz.structure);
+      if (image.held.size() != model.size()) {
+        fail(fuzz, trace, "image hold set disagrees with the model");
+        return;
+      }
+      for (const auto name : image.held) {
+        if (model.count(name) == 0) {
+          fail(fuzz, trace, "image holds a name the model does not");
+          return;
+        }
+      }
+
+      // Re-draw the configuration: x1, x2, or x4 on shards and capacity.
+      const std::uint64_t mult =
+          std::uint64_t{1} << la::rng::bounded(rng, 3);
+      la::api::RenamerConfig redrawn = config;
+      redrawn.capacity = fuzz.capacity * mult;
+      redrawn.shards = config.shards * static_cast<std::uint32_t>(mult);
+      trace.note("restore (x" + std::to_string(mult) + ")");
+      la::api::visit(fuzz.structure, redrawn, [&](auto& target) {
+        using Target = std::decay_t<decltype(target)>;
+        if constexpr (la::api::has_snapshot_v<Target>) {
+          la::api::restore(target, image);
+          if (!audit_collect(target, model)) {
+            fail(fuzz, trace,
+                 "restored structure disagrees with the model");
+            return;
+          }
+          trace.note("snapshot suffix churn");
+          churn_with_model(target, rng, model, held, fuzz.steps / 2,
+                           redrawn.capacity, fuzz, trace);
+          trace.note("drain");
+          for (const auto name : held) {
+            target.free(name);
+            model.erase(name);
+          }
+          held.clear();
+          if (!audit_collect(target, model)) {
+            fail(fuzz, trace,
+                 "structure not empty after the snapshot-cycle drain");
+          }
+        }
+      });
+    }
+  });
+}
+
 void run_case(const FuzzCase& fuzz) {
   la::api::RenamerConfig config;
   config.capacity = fuzz.capacity;
@@ -405,6 +520,7 @@ void run_case(const FuzzCase& fuzz) {
                   /*ops_per_round=*/static_cast<std::uint32_t>(
                       fuzz.steps / 12 + 16));
     });
+    run_snapshot_cycle(fuzz);
   } catch (const std::exception& e) {
     fail(fuzz, trace, ("unexpected exception: " + std::string(e.what()))
                           .c_str());

@@ -21,6 +21,7 @@
 #include <sys/types.h>
 #include <sys/wait.h>
 
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
@@ -57,12 +58,30 @@ std::string current;
 
 constexpr std::uint64_t kCapacity = 64;
 constexpr std::uint64_t kHolderHolds = 6;
+constexpr std::uint64_t kCollectCapacity = 512;
 
 // The death-test server child: serve segment A until SIGKILLed.
 [[noreturn]] void server_child(la::svc::SegmentView seg) {
   la::core::LevelArrayConfig cfg;
   cfg.capacity = kCapacity;
   la::core::LevelArray structure(cfg);
+  la::svc::Server<la::core::LevelArray> server(seg, structure);
+  server.start();
+  for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+// The collect-test server child: seed most of the array before serving,
+// so every kCollect response streams many chunks; then serve segment C
+// until SIGKILLed.
+[[noreturn]] void collect_server_child(la::svc::SegmentView seg) {
+  la::core::LevelArrayConfig cfg;
+  cfg.capacity = kCollectCapacity;
+  la::core::LevelArray structure(cfg);
+  const std::uint32_t batches = structure.geometry().num_batches();
+  for (std::uint32_t k = 0; k < batches; ++k) {
+    (void)structure.seed_batch_occupancy(
+        k, structure.geometry().batch(k).size() * 7 / 8);
+  }
   la::svc::Server<la::core::LevelArray> server(seg, structure);
   server.start();
   for (;;) std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -111,6 +130,62 @@ void test_server_death(la::svc::SegmentView seg, pid_t server_pid) {
           std::string::npos);
   }
   CHECK(threw);
+}
+
+// The streaming-collect regression: a server SIGKILLed between the
+// chunks of a multi-chunk kCollect stream must surface as the same
+// "server process died" error, not a wedge — every response wait in the
+// stream (and the request push behind it) arms the liveness probe. The
+// server child pre-seeds most of its array so each collect streams many
+// kMaxBatch-sized chunks, widening the between-chunks window the kill
+// lands in.
+void test_server_death_mid_collect(la::svc::SegmentView seg,
+                                   pid_t server_pid) {
+  current = "server_death_mid_collect";
+
+  std::atomic<std::uint64_t> first_collect{0};
+  std::string error;
+  std::thread collector([&] {
+    try {
+      la::svc::Client client(seg);  // blocks until the child is ready
+      std::vector<std::uint64_t> names;
+      const std::size_t found = client.collect(names);
+      first_collect.store(found, std::memory_order_release);
+      for (;;) {
+        names.clear();
+        (void)client.collect(names);
+      }
+    } catch (const std::runtime_error& e) {
+      error = e.what();
+      if (first_collect.load(std::memory_order_acquire) == 0) {
+        first_collect.store(1, std::memory_order_release);  // unblock main
+      }
+    }
+  });
+
+  // Wait for one whole streamed collect, let the loop run into another
+  // stream, then kill the server with no shutdown flag and reap it.
+  {
+    la::sync::Backoff backoff;
+    while (first_collect.load(std::memory_order_acquire) == 0) {
+      backoff.pause();
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  CHECK(::kill(server_pid, SIGKILL) == 0);
+  int status = 0;
+  CHECK(::waitpid(server_pid, &status, 0) == server_pid);
+  CHECK(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+  collector.join();
+  // The first collect proves the stream spanned several chunks; the
+  // error proves the mid-stream death surfaced instead of wedging (the
+  // ctest timeout is what would catch the wedge).
+  CHECK(first_collect.load(std::memory_order_acquire) >
+        2 * la::svc::kMaxBatch);
+  CHECK(!error.empty());
+  CHECK(error.find("server process died") != std::string::npos ||
+        error.find("server shut down") != std::string::npos);
 }
 
 void test_forged_token(la::svc::SegmentView seg, pid_t holder_pid) {
@@ -218,6 +293,7 @@ int main() {
   seg_config.max_clients = 8;
   svc::Segment segment_a(seg_config);  // server-death test
   svc::Segment segment_b(seg_config);  // forged-token test
+  svc::Segment segment_c(seg_config);  // death-mid-collect test
 
   // Fork every child before any thread exists in this process.
   const pid_t server_pid = ::fork();
@@ -226,6 +302,13 @@ int main() {
     return 1;
   }
   if (server_pid == 0) server_child(segment_a.view());
+
+  const pid_t collect_server_pid = ::fork();
+  if (collect_server_pid < 0) {
+    std::perror("fork");
+    return 1;
+  }
+  if (collect_server_pid == 0) collect_server_child(segment_c.view());
 
   const pid_t holder_pid = ::fork();
   if (holder_pid < 0) {
@@ -241,6 +324,7 @@ int main() {
   }
 
   test_server_death(segment_a.view(), server_pid);
+  test_server_death_mid_collect(segment_c.view(), collect_server_pid);
   test_forged_token(segment_b.view(), holder_pid);
 
   if (failures == 0) {
